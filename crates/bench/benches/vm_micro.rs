@@ -1,0 +1,93 @@
+//! Policy-engine microbenches: interpreter dispatch, verifier throughput,
+//! end-to-end load (assemble + verify) — the §6 "overhead in applying
+//! policies" discussion, quantified.
+
+use std::sync::Arc;
+
+use cbpf::asm::assemble;
+use cbpf::helpers::FixedEnv;
+use cbpf::interp::run_program;
+use cbpf::verifier::verify;
+use concord::hookctx;
+use criterion::{criterion_group, criterion_main, Criterion};
+use locks::hooks::{CmpNodeCtx, HookKind, NodeView};
+
+fn numa_program() -> cbpf::program::Program {
+    let c = concord::Concord::new();
+    let loaded = c.load(concord::policies::numa_aware()).unwrap();
+    loaded.prog.program().as_ref().clone()
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm");
+    let prog = numa_program();
+    let layout = hookctx::cmp_node_layout();
+    let env = FixedEnv::new().cpu(12).numa(1);
+    let view = |cpu: u32| NodeView {
+        tid: 1,
+        cpu,
+        socket: cpu / 10,
+        prio: 0,
+        cs_hint: 0,
+        held_locks: 0,
+        wait_start_ns: 0,
+    };
+    let ctx = CmpNodeCtx {
+        lock_id: 1,
+        shuffler: view(12),
+        curr: view(15),
+    };
+
+    g.bench_function("interp_numa_policy", |b| {
+        b.iter(|| {
+            let mut buf = hookctx::marshal_cmp_node(&ctx);
+            run_program(&prog, &mut buf, layout, &env).unwrap()
+        })
+    });
+
+    g.bench_function("marshal_cmp_node_ctx", |b| {
+        b.iter(|| hookctx::marshal_cmp_node(&ctx))
+    });
+
+    g.bench_function("verify_numa_policy", |b| {
+        b.iter(|| verify(&prog, layout).unwrap())
+    });
+
+    g.bench_function("assemble_and_verify", |b| {
+        b.iter(|| {
+            let p = assemble("mov r0, 1\nexit").unwrap();
+            verify(&p, &cbpf::ctx::CtxLayout::empty()).unwrap();
+        })
+    });
+
+    // The C-style frontend: compile alone, and compile + verify.
+    let numa_c = r#"
+        if (curr_socket == shuffler_socket)
+            return 1;
+        return 0;
+    "#;
+    g.bench_function("dsl_compile", |b| {
+        b.iter(|| cbpf::dsl::compile("numa", numa_c, layout).unwrap())
+    });
+    g.bench_function("dsl_compile_and_verify", |b| {
+        b.iter(|| {
+            let p = cbpf::dsl::compile("numa", numa_c, layout).unwrap();
+            verify(&p, layout).unwrap()
+        })
+    });
+
+    // Full hook-closure invocation path, as the real lock calls it.
+    let concord = concord::Concord::new();
+    let loaded = concord.load(concord::policies::numa_aware()).unwrap();
+    let policy = concord::BytecodePolicy::new(
+        loaded.prog,
+        HookKind::CmpNode,
+        Arc::new(concord::env::RealEnv::new()),
+    );
+    let f = policy.as_cmp_node();
+    g.bench_function("hook_closure_end_to_end", |b| b.iter(|| f(&ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Sensitivity ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. interconnect cost (`cross_socket`) vs the NUMA policy's win —
+//!    the policy should matter more as the machine gets "wider";
+//! 2. patched-entry cost vs Fig. 2(c) worst-case overhead — the
+//!    calibration knob behind `TRAMPOLINE_NS`;
+//! 3. the `MAX_BATCH` fairness bound vs throughput and fairness —
+//!    the cost of the §4.2 starvation guard.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use ksim::{LatencyModel, SimBuilder};
+use simlocks::{NativePolicy, SimMcsLock, SimShflLock};
+
+const WINDOW: u64 = 3_000_000;
+const THREADS: usize = 60;
+
+fn lat(cross: u64) -> LatencyModel {
+    LatencyModel {
+        cross_socket: cross,
+        ..LatencyModel::default()
+    }
+}
+
+fn sweep_cross_socket() {
+    println!("### Ablation 1: interconnect cost vs NUMA-policy win (60 threads)");
+    println!("| cross-socket ns | MCS ops/ms | Shfl-NUMA ops/ms | ratio |");
+    println!("|---|---|---|---|");
+    for cross in [110u64, 220, 440, 880] {
+        let run = |numa: bool| {
+            let sim = SimBuilder::new().seed(42).latency(lat(cross)).build();
+            let ops = Rc::new(Cell::new(0u64));
+            enum L {
+                M(SimMcsLock),
+                S(SimShflLock),
+            }
+            let lock = Rc::new(if numa {
+                let l = SimShflLock::new(&sim);
+                l.set_policy(Rc::new(NativePolicy::numa_aware()));
+                L::S(l)
+            } else {
+                L::M(SimMcsLock::new(&sim))
+            });
+            for cpu in sim.topology().compact_placement(THREADS) {
+                let (l, o) = (Rc::clone(&lock), Rc::clone(&ops));
+                sim.spawn_on(cpu, move |t| async move {
+                    while t.now() < WINDOW {
+                        match &*l {
+                            L::M(m) => {
+                                m.acquire(&t).await;
+                                t.advance(300).await;
+                                m.release(&t).await;
+                            }
+                            L::S(s) => {
+                                s.acquire(&t).await;
+                                t.advance(300).await;
+                                s.release(&t).await;
+                            }
+                        }
+                        o.set(o.get() + 1);
+                        t.advance(150 + t.rng_u64() % 600).await;
+                    }
+                });
+            }
+            sim.run();
+            ops.get() as f64 / 3.0
+        };
+        let mcs = run(false);
+        let shfl = run(true);
+        println!("| {cross} | {mcs:.0} | {shfl:.0} | {:.2}× |", shfl / mcs);
+    }
+    println!();
+}
+
+fn sweep_patched_entry() {
+    use c3_bench::workloads::{run_hashtable, HtSeries};
+    use concord::policy::PatchedEntryPolicy;
+
+    println!("### Ablation 2: patched-entry cost vs Fig. 2(c) overhead (8 threads)");
+    println!("| entry cost ns | normalized throughput |");
+    println!("|---|---|");
+    let base = run_hashtable(8, HtSeries::Baseline, WINDOW, 42);
+    for cost in [0u64, 15, 45, 90, 180] {
+        // Reuse the hashtable workload with a custom-cost policy by
+        // constructing the lock by hand.
+        let sim = SimBuilder::new().seed(42).build();
+        let lock = Rc::new(SimShflLock::new(&sim));
+        lock.set_policy(Rc::new(PatchedEntryPolicy(cost)));
+        let table = Rc::new(RefCell::new(c3_bench::hashtable::HashTable::new(1024)));
+        for k in 0..4096u64 {
+            table.borrow_mut().insert(k, k);
+        }
+        let ops = Rc::new(Cell::new(0u64));
+        for cpu in sim.topology().compact_placement(8) {
+            let (l, tb, o) = (Rc::clone(&lock), Rc::clone(&table), Rc::clone(&ops));
+            sim.spawn_on(cpu, move |t| async move {
+                while t.now() < WINDOW {
+                    let r = t.rng_u64();
+                    let key = r % 4096;
+                    l.acquire(&t).await;
+                    let cost = match r % 10 {
+                        0 => tb.borrow_mut().insert(key, r).0,
+                        1 => tb.borrow_mut().remove(key).0,
+                        _ => tb.borrow().lookup(key).0,
+                    };
+                    t.advance(cost).await;
+                    l.release(&t).await;
+                    o.set(o.get() + 1);
+                    t.advance(250).await;
+                }
+            });
+        }
+        sim.run();
+        let tp = ops.get() as f64 / 3.0;
+        println!("| {cost} | {:.3} |", tp / base);
+    }
+    println!();
+}
+
+fn sweep_max_batch() {
+    println!("### Ablation 3: MAX_BATCH fairness bound (40 threads, 4 sockets)");
+    println!("| max batch | ops/ms | per-task min..max |");
+    println!("|---|---|---|");
+    for batch in [1u32, 8, 32, 128, 100_000] {
+        let sim = SimBuilder::new().seed(42).build();
+        let lock = Rc::new(SimShflLock::new(&sim));
+        lock.set_policy(Rc::new(NativePolicy::numa_aware()));
+        lock.set_max_batch(batch);
+        let per_task = Rc::new(RefCell::new(vec![0u64; 40]));
+        for (i, cpu) in sim.topology().compact_placement(40).into_iter().enumerate() {
+            let (l, pt) = (Rc::clone(&lock), Rc::clone(&per_task));
+            sim.spawn_on(cpu, move |t| async move {
+                while t.now() < WINDOW {
+                    l.acquire(&t).await;
+                    t.advance(300).await;
+                    l.release(&t).await;
+                    pt.borrow_mut()[i] += 1;
+                    t.advance(150 + t.rng_u64() % 600).await;
+                }
+            });
+        }
+        sim.run();
+        let pt = per_task.borrow();
+        let total: u64 = pt.iter().sum();
+        println!(
+            "| {batch} | {:.0} | {}..{} |",
+            total as f64 / 3.0,
+            pt.iter().min().unwrap(),
+            pt.iter().max().unwrap()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    sweep_cross_socket();
+    sweep_patched_entry();
+    sweep_max_batch();
+}

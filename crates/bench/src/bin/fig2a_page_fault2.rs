@@ -1,0 +1,36 @@
+//! Regenerates Fig. 2(a): will-it-scale `page_fault2` — Stock vs BRAVO vs
+//! Concord-BRAVO, ops/msec over the thread sweep.
+
+use c3_bench::workloads::{run_page_fault2, RwSeries};
+use c3_bench::{report::Report, run_window_ms, SWEEP};
+
+fn main() {
+    let window = run_window_ms() * 1_000_000;
+    let mut report = Report::new(
+        "Fig. 2(a) page_fault2",
+        "ops/msec",
+        &["Stock", "BRAVO", "Concord-BRAVO"],
+    );
+    for &n in SWEEP {
+        let row = [RwSeries::Stock, RwSeries::Bravo, RwSeries::ConcordBravo].map(|s| {
+            // Average over seeds: single runs of a deterministic simulator
+            // can sit on sharp transition points.
+            let seeds = [42u64, 43, 44];
+            seeds
+                .iter()
+                .map(|&sd| run_page_fault2(n, s, window, sd))
+                .sum::<f64>()
+                / seeds.len() as f64
+        });
+        eprintln!(
+            "threads={n:<3} stock={:>10.1} bravo={:>10.1} concord-bravo={:>10.1}",
+            row[0], row[1], row[2]
+        );
+        report.push(n, row.to_vec());
+    }
+    println!("{}", report.to_markdown());
+    match report.save_csv("fig2a_page_fault2") {
+        Ok(p) => eprintln!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Fig. 2(b): will-it-scale `lock2` — Stock (MCS) vs ShflLock
+//! (compiled-in NUMA policy) vs Concord-ShflLock (verified bytecode NUMA
+//! policy), ops/msec over the thread sweep.
+
+use c3_bench::workloads::{run_lock2, SpinSeries};
+use c3_bench::{report::Report, run_window_ms, SWEEP};
+
+fn main() {
+    let window = run_window_ms() * 1_000_000;
+    let mut report = Report::new(
+        "Fig. 2(b) lock2",
+        "ops/msec",
+        &["Stock", "ShflLock", "Concord-ShflLock"],
+    );
+    for &n in SWEEP {
+        let row = [
+            SpinSeries::StockMcs,
+            SpinSeries::ShflNuma,
+            SpinSeries::ConcordShflNuma,
+        ]
+        .map(|s| {
+            // Average over seeds: single runs of a deterministic simulator
+            // can sit on sharp transition points.
+            let seeds = [42u64, 43, 44];
+            seeds
+                .iter()
+                .map(|&sd| run_lock2(n, s, window, sd))
+                .sum::<f64>()
+                / seeds.len() as f64
+        });
+        eprintln!(
+            "threads={n:<3} stock={:>10.1} shfl={:>10.1} concord-shfl={:>10.1}",
+            row[0], row[1], row[2]
+        );
+        report.push(n, row.to_vec());
+    }
+    println!("{}", report.to_markdown());
+    match report.save_csv("fig2b_lock2") {
+        Ok(p) => eprintln!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Fig. 2(c): hash table under one global ShflLock —
+//! normalized throughput of Concord-ShflLock (attached no-op policy, the
+//! worst case) against the unpatched lock.
+
+use c3_bench::workloads::{run_hashtable, HtSeries};
+use c3_bench::{report::Report, run_window_ms, SWEEP};
+
+fn main() {
+    let window = run_window_ms() * 1_000_000;
+    let mut report = Report::new(
+        "Fig. 2(c) hashtable",
+        "normalized throughput (and raw ops/msec)",
+        &["ShflLock", "Concord-ShflLock", "normalized"],
+    );
+    let mut worst = f64::INFINITY;
+    for &n in SWEEP {
+        let seeds = [42u64, 43, 44];
+        let avg = |series| {
+            seeds
+                .iter()
+                .map(|&sd| run_hashtable(n, series, window, sd))
+                .sum::<f64>()
+                / seeds.len() as f64
+        };
+        let base = avg(HtSeries::Baseline);
+        let noop = avg(HtSeries::ConcordNoop);
+        let norm = noop / base;
+        worst = worst.min(norm);
+        eprintln!("threads={n:<3} base={base:>10.1} concord={noop:>10.1} normalized={norm:.3}");
+        report.push(n, vec![base, noop, norm]);
+    }
+    println!("{}", report.to_markdown());
+    println!("worst-case normalized throughput: {worst:.3} (paper: ≈0.8)");
+    match report.save_csv("fig2c_hashtable") {
+        Ok(p) => eprintln!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

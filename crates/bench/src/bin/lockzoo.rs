@@ -1,0 +1,88 @@
+//! Scalability comparison of the full simulated lock zoo — the background
+//! §2.2 story ("Locks: Past, Present, and Future?") as one sweep: TAS
+//! collapses, ticket is fair but bounces one line, MCS scales, the shuffle
+//! lock with the NUMA policy batches sockets.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use c3_bench::{report::Report, run_window_ms, SWEEP};
+use ksim::SimBuilder;
+use simlocks::{NativePolicy, SimMcsLock, SimShflLock, SimTasLock, SimTicketLock};
+
+enum Zoo {
+    Tas(SimTasLock),
+    Ticket(SimTicketLock),
+    Mcs(SimMcsLock),
+    Shfl(SimShflLock),
+}
+
+fn run(kind: &str, threads: u32, window_ns: u64, seed: u64) -> f64 {
+    let sim = SimBuilder::new().seed(seed).build();
+    let lock = Rc::new(match kind {
+        "tas" => Zoo::Tas(SimTasLock::new(&sim)),
+        "ticket" => Zoo::Ticket(SimTicketLock::new(&sim)),
+        "mcs" => Zoo::Mcs(SimMcsLock::new(&sim)),
+        "shfl_fifo" => Zoo::Shfl(SimShflLock::new(&sim)),
+        "shfl_numa" => {
+            let l = SimShflLock::new(&sim);
+            l.set_policy(Rc::new(NativePolicy::numa_aware()));
+            Zoo::Shfl(l)
+        }
+        other => panic!("unknown lock kind {other}"),
+    });
+    let ops = Rc::new(Cell::new(0u64));
+    for cpu in sim.topology().compact_placement(threads as usize) {
+        let (l, o) = (Rc::clone(&lock), Rc::clone(&ops));
+        sim.spawn_on(cpu, move |t| async move {
+            while t.now() < window_ns {
+                match &*l {
+                    Zoo::Tas(x) => {
+                        x.acquire(&t).await;
+                        t.advance(300).await;
+                        x.release(&t).await;
+                    }
+                    Zoo::Ticket(x) => {
+                        x.acquire(&t).await;
+                        t.advance(300).await;
+                        x.release(&t).await;
+                    }
+                    Zoo::Mcs(x) => {
+                        x.acquire(&t).await;
+                        t.advance(300).await;
+                        x.release(&t).await;
+                    }
+                    Zoo::Shfl(x) => {
+                        x.acquire(&t).await;
+                        t.advance(300).await;
+                        x.release(&t).await;
+                    }
+                }
+                o.set(o.get() + 1);
+                t.advance(150 + t.rng_u64() % 600).await;
+            }
+        });
+    }
+    let stats = sim.run();
+    assert!(stats.stuck_tasks.is_empty(), "{kind} deadlocked");
+    ops.get() as f64 / (window_ns as f64 / 1e6)
+}
+
+fn main() {
+    let window = run_window_ms() * 1_000_000;
+    let kinds = ["tas", "ticket", "mcs", "shfl_fifo", "shfl_numa"];
+    let mut report = Report::new("Lock zoo scalability", "ops/msec", &kinds);
+    for &n in SWEEP {
+        let row: Vec<f64> = kinds.iter().map(|k| run(k, n, window, 42)).collect();
+        eprintln!(
+            "threads={n:<3} tas={:>8.0} ticket={:>8.0} mcs={:>8.0} shfl={:>8.0} shfl_numa={:>8.0}",
+            row[0], row[1], row[2], row[3], row[4]
+        );
+        report.push(n, row);
+    }
+    println!("{}", report.to_markdown());
+    match report.save_csv("lockzoo") {
+        Ok(p) => eprintln!("csv: {}", p.display()),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§5), plus the §3 use-case ablations.
+//!
+//! Each figure binary sweeps thread counts on the simulated 8-socket,
+//! 80-core machine and emits a markdown table plus a CSV under `results/`.
+//! See `EXPERIMENTS.md` for the index and the paper-vs-measured record.
+//!
+//! | Binary               | Paper artifact |
+//! |----------------------|----------------|
+//! | `fig2a_page_fault2`  | Fig. 2(a): Stock vs BRAVO vs Concord-BRAVO |
+//! | `fig2b_lock2`        | Fig. 2(b): Stock vs ShflLock vs Concord-ShflLock |
+//! | `fig2c_hashtable`    | Fig. 2(c): normalized Concord-ShflLock overhead |
+//! | `table1_api_hazards` | Table 1: per-hook cost + hazard demonstration |
+//! | `usecases`           | §3 use cases: inheritance, priority, SCL, AMP, parking, profiling |
+
+pub mod hashtable;
+pub mod report;
+pub mod workloads;
+
+/// Thread counts swept by the figures, matching the paper's x-axis.
+pub const SWEEP: &[u32] = &[1, 2, 4, 8, 10, 20, 30, 40, 50, 60, 70, 80];
+
+/// Virtual milliseconds each configuration runs for.
+///
+/// `C3_BENCH_MODE=full` lengthens runs for smoother curves; the default
+/// keeps a full figure under a few minutes on a small host.
+pub fn run_window_ms() -> u64 {
+    match std::env::var("C3_BENCH_MODE").as_deref() {
+        Ok("full") => 8,
+        _ => 3,
+    }
+}

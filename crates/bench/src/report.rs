@@ -1,0 +1,148 @@
+//! Table rendering and results persistence for the figure binaries.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A sweep result: one row per thread count, one column per series.
+pub struct Report {
+    title: String,
+    unit: String,
+    series: Vec<String>,
+    rows: Vec<(u32, Vec<f64>)>,
+}
+
+impl Report {
+    /// Starts a report with the given series (column) names.
+    pub fn new(title: &str, unit: &str, series: &[&str]) -> Self {
+        Report {
+            title: title.to_string(),
+            unit: unit.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one sweep point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the series count.
+    pub fn push(&mut self, threads: u32, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len(), "column count mismatch");
+        self.rows.push((threads, values));
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[(u32, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Value of `series` at `threads`, if recorded.
+    pub fn value(&self, threads: u32, series: &str) -> Option<f64> {
+        let col = self.series.iter().position(|s| s == series)?;
+        self.rows
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|(_, v)| v[col])
+    }
+
+    /// Renders a GitHub-style markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} ({})", self.title, self.unit);
+        let _ = write!(out, "| threads |");
+        for s in &self.series {
+            let _ = write!(out, " {s} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (t, vals) in &self.rows {
+            let _ = write!(out, "| {t} |");
+            for v in vals {
+                let _ = write!(out, " {v:.2} |");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV (`threads,series1,series2,…`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "threads");
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        let _ = writeln!(out);
+        for (t, vals) in &self.rows {
+            let _ = write!(out, "{t}");
+            for v in vals {
+                let _ = write!(out, ",{v:.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV under `results/<name>.csv` (repo root when run via
+    /// cargo) and returns the path.
+    pub fn save_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("C3_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        std::fs::create_dir_all(&dir)?;
+        let path = PathBuf::from(dir).join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("demo", "ops/msec", &["a", "b"]);
+        r.push(1, vec![1.0, 2.0]);
+        r.push(8, vec![3.5, 4.25]);
+        r
+    }
+
+    #[test]
+    fn markdown_and_csv_shape() {
+        let r = sample();
+        let md = r.to_markdown();
+        assert!(md.contains("| threads | a | b |"));
+        assert!(md.contains("| 8 | 3.50 | 4.25 |"));
+        let csv = r.to_csv();
+        assert!(csv.starts_with("threads,a,b\n"));
+        assert!(csv.contains("8,3.5000,4.2500"));
+    }
+
+    #[test]
+    fn value_lookup() {
+        let r = sample();
+        assert_eq!(r.value(8, "b"), Some(4.25));
+        assert_eq!(r.value(8, "z"), None);
+        assert_eq!(r.value(9, "a"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn column_mismatch_panics() {
+        let mut r = Report::new("x", "u", &["a"]);
+        r.push(1, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("c3_report_test");
+        std::env::set_var("C3_RESULTS_DIR", &dir);
+        let path = sample().save_csv("unit_test_report").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("threads,a,b"));
+        std::env::remove_var("C3_RESULTS_DIR");
+    }
+}

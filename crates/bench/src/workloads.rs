@@ -1,0 +1,350 @@
+//! Workload generators reproducing the locking patterns of the paper's
+//! three benchmarks (§5) on the simulated machine.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use concord::Concord;
+use ksim::{Sim, SimBuilder, TaskCtx};
+use simlocks::{NativePolicy, SimBravo, SimMcsLock, SimNeutralRwLock, SimShflLock};
+
+use crate::hashtable::HashTable;
+
+/// Work per simulated page fault (µs-scale, as on real hardware).
+pub const FAULT_NS: u64 = 1_200;
+/// Read-side faults between address-space updates (mmap/munmap take the
+/// lock exclusively; on will-it-scale's 128 MB mappings writes are ~3e-5
+/// of operations — rare but present).
+pub const FAULTS_PER_MAP: u64 = 4_096;
+/// Work under the write lock (munmap + mmap bookkeeping).
+pub const REMAP_NS: u64 = 4_000;
+
+/// Critical-section compute of the `lock2` pattern (tiny, write-heavy).
+pub const LOCK2_CS_NS: u64 = 120;
+/// Shared lines written inside the `lock2` critical section (the
+/// lock-protected state whose locality NUMA batching preserves).
+pub const LOCK2_DATA_WORDS: usize = 3;
+/// Base think time between `lock2` acquisitions; the actual gap adds
+/// jitter up to [`LOCK2_JITTER_NS`] so that re-arrival order decorrelates
+/// from completion order (on hardware, wake-up and pipeline noise does
+/// this; a deterministic simulator must inject it explicitly or FIFO
+/// locks inherit same-socket runs for free).
+pub const LOCK2_THINK_NS: u64 = 150;
+/// Upper bound of the think-time jitter.
+pub const LOCK2_JITTER_NS: u64 = 1_200;
+
+/// Hash-table keyspace (load factor ≈ 4 over 1024 buckets).
+pub const HT_KEYS: u64 = 4_096;
+/// Hash-table bucket count.
+pub const HT_BUCKETS: usize = 1_024;
+/// Think time between hash-table operations.
+pub const HT_THINK_NS: u64 = 250;
+
+/// Extra per-operation cost of a live-switched (Concord-patched) lock
+/// entry point: the patched function is reached through one level of
+/// indirection on acquire and one on release.
+pub const SWITCHED_ENTRY_NS: u64 = 30;
+
+/// Series of Fig. 2(a).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RwSeries {
+    /// Neutral readers-writer lock (`rwsem`/`qrwlock` analog).
+    Stock,
+    /// BRAVO compiled in.
+    Bravo,
+    /// BRAVO installed at run time through Concord's lock switching.
+    ConcordBravo,
+}
+
+/// Series of Fig. 2(b).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpinSeries {
+    /// MCS (`qspinlock` analog).
+    StockMcs,
+    /// ShflLock with the NUMA policy compiled in.
+    ShflNuma,
+    /// ShflLock with the NUMA policy as verified Concord bytecode.
+    ConcordShflNuma,
+}
+
+/// Series of Fig. 2(c).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HtSeries {
+    /// Plain ShflLock, nothing attached.
+    Baseline,
+    /// ShflLock patched by Concord with a policy that runs no user code —
+    /// the paper's worst case.
+    ConcordNoop,
+}
+
+fn sim_for(seed: u64) -> Sim {
+    SimBuilder::new().seed(seed).build()
+}
+
+fn placement(sim: &Sim, n: u32) -> Vec<ksim::CpuId> {
+    sim.topology().compact_placement(n as usize)
+}
+
+enum RwLockImpl {
+    Stock(SimNeutralRwLock),
+    Bravo(SimBravo, u64),
+}
+
+impl RwLockImpl {
+    async fn read_acquire(&self, t: &TaskCtx) {
+        match self {
+            RwLockImpl::Stock(l) => l.read_acquire(t).await,
+            RwLockImpl::Bravo(l, extra) => {
+                if *extra > 0 {
+                    t.advance(*extra).await;
+                }
+                l.read_acquire(t).await;
+            }
+        }
+    }
+
+    async fn read_release(&self, t: &TaskCtx) {
+        match self {
+            RwLockImpl::Stock(l) => l.read_release(t).await,
+            RwLockImpl::Bravo(l, extra) => {
+                if *extra > 0 {
+                    t.advance(*extra).await;
+                }
+                l.read_release(t).await;
+            }
+        }
+    }
+
+    async fn write_acquire(&self, t: &TaskCtx) {
+        match self {
+            RwLockImpl::Stock(l) => l.write_acquire(t).await,
+            RwLockImpl::Bravo(l, extra) => {
+                if *extra > 0 {
+                    t.advance(*extra).await;
+                }
+                l.write_acquire(t).await;
+            }
+        }
+    }
+
+    async fn write_release(&self, t: &TaskCtx) {
+        match self {
+            RwLockImpl::Stock(l) => l.write_release(t).await,
+            RwLockImpl::Bravo(l, extra) => {
+                if *extra > 0 {
+                    t.advance(*extra).await;
+                }
+                l.write_release(t).await;
+            }
+        }
+    }
+}
+
+/// Runs the `page_fault2` pattern (Fig. 2(a)); returns faults per virtual
+/// millisecond.
+pub fn run_page_fault2(threads: u32, series: RwSeries, window_ns: u64, seed: u64) -> f64 {
+    let sim = sim_for(seed);
+    let lock = Rc::new(match series {
+        RwSeries::Stock => RwLockImpl::Stock(SimNeutralRwLock::new(&sim)),
+        RwSeries::Bravo => RwLockImpl::Bravo(SimBravo::new(&sim), 0),
+        // Live-switched BRAVO pays the patched-entry indirection.
+        RwSeries::ConcordBravo => RwLockImpl::Bravo(SimBravo::new(&sim), SWITCHED_ENTRY_NS),
+    });
+    let ops = Rc::new(Cell::new(0u64));
+    for cpu in placement(&sim, threads) {
+        let (l, o) = (Rc::clone(&lock), Rc::clone(&ops));
+        sim.spawn_on(cpu, move |t| async move {
+            'outer: loop {
+                for _ in 0..FAULTS_PER_MAP {
+                    if t.now() >= window_ns {
+                        break 'outer;
+                    }
+                    l.read_acquire(&t).await;
+                    t.advance(FAULT_NS).await;
+                    l.read_release(&t).await;
+                    o.set(o.get() + 1);
+                }
+                // Address-space update: exclusive.
+                l.write_acquire(&t).await;
+                t.advance(REMAP_NS).await;
+                l.write_release(&t).await;
+            }
+        });
+    }
+    let stats = sim.run();
+    assert!(stats.stuck_tasks.is_empty(), "deadlock in page_fault2");
+    ops.get() as f64 / (window_ns as f64 / 1e6)
+}
+
+/// Runs the `lock2` pattern (Fig. 2(b)); returns acquisitions per virtual
+/// millisecond.
+pub fn run_lock2(threads: u32, series: SpinSeries, window_ns: u64, seed: u64) -> f64 {
+    let sim = sim_for(seed);
+    let ops = Rc::new(Cell::new(0u64));
+    let data: Rc<Vec<ksim::SimWord>> = Rc::new(
+        (0..LOCK2_DATA_WORDS)
+            .map(|_| ksim::SimWord::new(&sim, 0))
+            .collect(),
+    );
+
+    enum SpinImpl {
+        Mcs(SimMcsLock),
+        Shfl(SimShflLock),
+    }
+    let lock = Rc::new(match series {
+        SpinSeries::StockMcs => SpinImpl::Mcs(SimMcsLock::new(&sim)),
+        SpinSeries::ShflNuma => {
+            let l = SimShflLock::new(&sim);
+            l.set_policy(Rc::new(NativePolicy::numa_aware()));
+            SpinImpl::Shfl(l)
+        }
+        SpinSeries::ConcordShflNuma => {
+            let l = SimShflLock::new(&sim);
+            let concord = Concord::new();
+            let loaded = concord
+                .load(concord::policies::numa_aware())
+                .expect("prebuilt policy verifies");
+            let policy = concord.make_sim_policy(&sim, &[&loaded]);
+            concord.attach_sim(&l, Rc::new(policy));
+            SpinImpl::Shfl(l)
+        }
+    });
+
+    for cpu in placement(&sim, threads) {
+        let (l, o, d) = (Rc::clone(&lock), Rc::clone(&ops), Rc::clone(&data));
+        sim.spawn_on(cpu, move |t| async move {
+            while t.now() < window_ns {
+                match &*l {
+                    SpinImpl::Mcs(m) => {
+                        m.acquire(&t).await;
+                        for w in d.iter() {
+                            w.fetch_add(&t, 1).await;
+                        }
+                        t.advance(LOCK2_CS_NS).await;
+                        m.release(&t).await;
+                    }
+                    SpinImpl::Shfl(s) => {
+                        s.acquire(&t).await;
+                        for w in d.iter() {
+                            w.fetch_add(&t, 1).await;
+                        }
+                        t.advance(LOCK2_CS_NS).await;
+                        s.release(&t).await;
+                    }
+                }
+                o.set(o.get() + 1);
+                t.advance(LOCK2_THINK_NS + t.rng_u64() % LOCK2_JITTER_NS)
+                    .await;
+            }
+        });
+    }
+    let stats = sim.run();
+    assert!(stats.stuck_tasks.is_empty(), "deadlock in lock2");
+    ops.get() as f64 / (window_ns as f64 / 1e6)
+}
+
+/// Runs the global-lock hash-table pattern (Fig. 2(c)); returns operations
+/// per virtual millisecond.
+pub fn run_hashtable(threads: u32, series: HtSeries, window_ns: u64, seed: u64) -> f64 {
+    let sim = sim_for(seed);
+    let lock = Rc::new(SimShflLock::new(&sim));
+    if series == HtSeries::ConcordNoop {
+        lock.set_policy(Rc::new(concord::policy::AttachedNoopPolicy));
+    }
+    let table = Rc::new(RefCell::new(HashTable::new(HT_BUCKETS)));
+    // Pre-populate to the steady-state load factor.
+    {
+        let mut t = table.borrow_mut();
+        for k in 0..HT_KEYS {
+            t.insert(k, k);
+        }
+    }
+    let ops = Rc::new(Cell::new(0u64));
+    for cpu in placement(&sim, threads) {
+        let (l, tb, o) = (Rc::clone(&lock), Rc::clone(&table), Rc::clone(&ops));
+        sim.spawn_on(cpu, move |t| async move {
+            while t.now() < window_ns {
+                let r = t.rng_u64();
+                let key = r % HT_KEYS;
+                l.acquire(&t).await;
+                // The operation mix of the resizable-hash-table benchmark:
+                // read-mostly with a write tail.
+                let cost = match r % 10 {
+                    0 => tb.borrow_mut().insert(key, r).0,
+                    1 => tb.borrow_mut().remove(key).0,
+                    _ => tb.borrow().lookup(key).0,
+                };
+                t.advance(cost).await;
+                l.release(&t).await;
+                o.set(o.get() + 1);
+                t.advance(HT_THINK_NS).await;
+            }
+        });
+    }
+    let stats = sim.run();
+    assert!(stats.stuck_tasks.is_empty(), "deadlock in hashtable");
+    ops.get() as f64 / (window_ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 300_000; // 0.3 ms keeps unit tests fast.
+
+    #[test]
+    fn page_fault2_all_series_run() {
+        for series in [RwSeries::Stock, RwSeries::Bravo, RwSeries::ConcordBravo] {
+            let tp = run_page_fault2(4, series, W, 1);
+            assert!(tp > 0.0, "{series:?} produced no throughput");
+        }
+    }
+
+    #[test]
+    fn lock2_all_series_run() {
+        for series in [
+            SpinSeries::StockMcs,
+            SpinSeries::ShflNuma,
+            SpinSeries::ConcordShflNuma,
+        ] {
+            let tp = run_lock2(4, series, W, 1);
+            assert!(tp > 0.0, "{series:?} produced no throughput");
+        }
+    }
+
+    #[test]
+    fn hashtable_both_series_run() {
+        for series in [HtSeries::Baseline, HtSeries::ConcordNoop] {
+            let tp = run_hashtable(4, series, W, 1);
+            assert!(tp > 0.0, "{series:?} produced no throughput");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_lock2(8, SpinSeries::ShflNuma, W, 7);
+        let b = run_lock2(8, SpinSeries::ShflNuma, W, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bravo_beats_stock_on_read_heavy_at_scale() {
+        let stock = run_page_fault2(40, RwSeries::Stock, W, 2);
+        let bravo = run_page_fault2(40, RwSeries::Bravo, W, 2);
+        assert!(
+            bravo > stock * 1.5,
+            "expected BRAVO ≫ Stock at 40 readers: bravo={bravo:.0} stock={stock:.0}"
+        );
+    }
+
+    #[test]
+    fn concord_noop_costs_something_but_not_everything() {
+        let base = run_hashtable(8, HtSeries::Baseline, W, 3);
+        let noop = run_hashtable(8, HtSeries::ConcordNoop, W, 3);
+        let norm = noop / base;
+        assert!(
+            norm > 0.5 && norm <= 1.02,
+            "normalized Concord throughput out of range: {norm:.3}"
+        );
+    }
+}

@@ -1,0 +1,657 @@
+//! Textual assembler and disassembler for policy programs.
+//!
+//! The paper's users "encode multiple policies in a C-style code" that is
+//! compiled to eBPF; this assembler is the analogous authoring surface here.
+//! Examples use it to keep policies readable.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! entry:                      ; labels end with ':'
+//!     mov   r6, 10            ; alu: op dst, (reg|imm) — "32" suffix = 32-bit
+//!     add32 r6, r1
+//!     ld64  r2, 0xdeadbeef    ; 64-bit immediate
+//!     ldmap r1, counts        ; map reference by name
+//!     ldxdw r3, [r10-8]       ; loads: ldxb/ldxh/ldxw/ldxdw
+//!     stxdw [r10-8], r3       ; register stores: stxb/stxh/stxw/stxdw
+//!     stw   [r10-4], 7        ; immediate stores: stb/sth/stw/stdw
+//!     jeq   r3, 0, done       ; conditional jumps take a label
+//!     ja    done
+//!     call  cpu_id            ; helper by name or number
+//! done:
+//!     exit
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::AsmError;
+use crate::helpers::HelperId;
+use crate::insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg, NUM_REGS};
+use crate::map::Map;
+use crate::program::Program;
+
+/// Assembles source with no maps.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any parse failure.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    assemble_named("anonymous", src, &[])
+}
+
+/// Assembles source; `ldmap` operands are resolved against `maps` by name.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any parse failure or an
+/// unknown map/label/helper name.
+pub fn assemble_named(name: &str, src: &str, maps: &[Arc<Map>]) -> Result<Program, AsmError> {
+    let mut insns: Vec<Insn> = Vec::new();
+    // (insn index, label name, line) for jump fixups.
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw_line.split([';', '#']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            check_ident(label, line)?;
+            if labels.insert(label.to_string(), insns.len()).is_some() {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            continue;
+        }
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let args: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        parse_insn(mnemonic, &args, line, maps, &mut insns, &mut fixups)?;
+    }
+
+    for (idx, label, line) in fixups {
+        let target = *labels
+            .get(&label)
+            .ok_or_else(|| err(line, format!("undefined label `{label}`")))?;
+        let off = i16::try_from(target as i64 - idx as i64 - 1)
+            .map_err(|_| err(line, format!("jump to `{label}` out of range")))?;
+        match &mut insns[idx] {
+            Insn::Ja { off: o } => *o = off,
+            Insn::Jmp { off: o, .. } => *o = off,
+            _ => unreachable!("fixup recorded for non-jump"),
+        }
+    }
+
+    Ok(Program::new(name, insns, maps.to_vec()))
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn check_ident(s: &str, line: usize) -> Result<(), AsmError> {
+    if !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+    {
+        Ok(())
+    } else {
+        Err(err(line, format!("bad identifier `{s}`")))
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let n: u8 = s
+        .strip_prefix('r')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected register, got `{s}`")))?;
+    if n < NUM_REGS {
+        Ok(Reg(n))
+    } else {
+        Err(err(line, format!("register r{n} out of range")))
+    }
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad number `{s}`")))?
+    } else {
+        body.parse::<u64>()
+            .map_err(|_| err(line, format!("bad number `{s}`")))?
+    };
+    Ok(if neg {
+        (v as i64).wrapping_neg()
+    } else {
+        v as i64
+    })
+}
+
+fn parse_imm32(s: &str, line: usize) -> Result<i32, AsmError> {
+    let v = parse_imm(s, line)?;
+    i32::try_from(v)
+        .or_else(|_| {
+            // Allow unsigned 32-bit literals like 0xffffffff.
+            u32::try_from(v).map(|u| u as i32)
+        })
+        .map_err(|_| err(line, format!("immediate `{s}` does not fit in 32 bits")))
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    if s.starts_with('r') && s.len() <= 3 && s[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Operand::Reg(parse_reg(s, line)?))
+    } else {
+        Ok(Operand::Imm(parse_imm32(s, line)?))
+    }
+}
+
+/// Parses `[rN+off]` / `[rN-off]` / `[rN]`.
+fn parse_mem(s: &str, line: usize) -> Result<(Reg, i16), AsmError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], got `{s}`")))?;
+    let (reg_s, off) = if let Some(pos) = inner.find(['+', '-']) {
+        let (r, o) = inner.split_at(pos);
+        (r.trim(), parse_imm(o, line)?)
+    } else {
+        (inner.trim(), 0)
+    };
+    let off = i16::try_from(off).map_err(|_| err(line, format!("offset in `{s}` too large")))?;
+    Ok((parse_reg(reg_s, line)?, off))
+}
+
+fn expect_args(args: &[&str], n: usize, line: usize, mnemonic: &str) -> Result<(), AsmError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(err(
+            line,
+            format!("`{mnemonic}` takes {n} operand(s), got {}", args.len()),
+        ))
+    }
+}
+
+fn alu_from_mnemonic(m: &str) -> Option<(AluOp, bool)> {
+    let (base, wide) = match m.strip_suffix("32") {
+        Some(b) => (b, false),
+        None => (m, true),
+    };
+    AluOp::ALL
+        .iter()
+        .find(|op| op.mnemonic() == base)
+        .map(|op| (*op, wide))
+}
+
+fn mem_size_from_suffix(s: &str) -> Option<MemSize> {
+    match s {
+        "b" => Some(MemSize::B),
+        "h" => Some(MemSize::H),
+        "w" => Some(MemSize::W),
+        "dw" => Some(MemSize::Dw),
+        _ => None,
+    }
+}
+
+fn parse_insn(
+    mnemonic: &str,
+    args: &[&str],
+    line: usize,
+    maps: &[Arc<Map>],
+    insns: &mut Vec<Insn>,
+    fixups: &mut Vec<(usize, String, usize)>,
+) -> Result<(), AsmError> {
+    // Jumps.
+    if mnemonic == "ja" {
+        expect_args(args, 1, line, mnemonic)?;
+        fixups.push((insns.len(), args[0].to_string(), line));
+        insns.push(Insn::Ja { off: 0 });
+        return Ok(());
+    }
+    if let Some(op) = JmpOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+        expect_args(args, 3, line, mnemonic)?;
+        let dst = parse_reg(args[0], line)?;
+        let src = parse_operand(args[1], line)?;
+        fixups.push((insns.len(), args[2].to_string(), line));
+        insns.push(Insn::Jmp {
+            op: *op,
+            dst,
+            src,
+            off: 0,
+        });
+        return Ok(());
+    }
+
+    match mnemonic {
+        "exit" => {
+            expect_args(args, 0, line, mnemonic)?;
+            insns.push(Insn::Exit);
+        }
+        "call" => {
+            expect_args(args, 1, line, mnemonic)?;
+            let helper = if let Ok(n) = args[0].parse::<u32>() {
+                n
+            } else {
+                HelperId::from_name(args[0])
+                    .ok_or_else(|| err(line, format!("unknown helper `{}`", args[0])))?
+                    as u32
+            };
+            insns.push(Insn::Call { helper });
+        }
+        "ld64" => {
+            expect_args(args, 2, line, mnemonic)?;
+            let dst = parse_reg(args[0], line)?;
+            let imm = parse_imm(args[1], line)? as u64;
+            insns.push(Insn::LdImm64 { dst, imm });
+        }
+        "ldmap" => {
+            expect_args(args, 2, line, mnemonic)?;
+            let dst = parse_reg(args[0], line)?;
+            let map_id = maps
+                .iter()
+                .position(|m| m.def().name == args[1])
+                .ok_or_else(|| err(line, format!("unknown map `{}`", args[1])))?
+                as u32;
+            insns.push(Insn::LdMapRef { dst, map_id });
+        }
+        _ if mnemonic.starts_with("ldx") => {
+            let size = mem_size_from_suffix(&mnemonic[3..])
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+            expect_args(args, 2, line, mnemonic)?;
+            let dst = parse_reg(args[0], line)?;
+            let (base, off) = parse_mem(args[1], line)?;
+            insns.push(Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            });
+        }
+        _ if mnemonic.starts_with("stx") => {
+            let size = mem_size_from_suffix(&mnemonic[3..])
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+            expect_args(args, 2, line, mnemonic)?;
+            let (base, off) = parse_mem(args[0], line)?;
+            let src = parse_reg(args[1], line)?;
+            insns.push(Insn::Store {
+                size,
+                base,
+                off,
+                src: Operand::Reg(src),
+            });
+        }
+        _ if mnemonic.starts_with("st") => {
+            let size = mem_size_from_suffix(&mnemonic[2..])
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+            expect_args(args, 2, line, mnemonic)?;
+            let (base, off) = parse_mem(args[0], line)?;
+            let imm = parse_imm32(args[1], line)?;
+            insns.push(Insn::Store {
+                size,
+                base,
+                off,
+                src: Operand::Imm(imm),
+            });
+        }
+        _ => {
+            let (op, wide) = alu_from_mnemonic(mnemonic)
+                .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+            if op == AluOp::Neg {
+                expect_args(args, 1, line, mnemonic)?;
+                let dst = parse_reg(args[0], line)?;
+                insns.push(Insn::Alu {
+                    wide,
+                    op,
+                    dst,
+                    src: Operand::Imm(0),
+                });
+            } else {
+                expect_args(args, 2, line, mnemonic)?;
+                let dst = parse_reg(args[0], line)?;
+                let src = parse_operand(args[1], line)?;
+                insns.push(Insn::Alu { wide, op, dst, src });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Disassembles a program back to parseable text (generated labels `L<n>`).
+pub fn disassemble(prog: &Program) -> String {
+    // Collect jump targets for label placement.
+    let mut targets: Vec<usize> = Vec::new();
+    for (pc, insn) in prog.insns().iter().enumerate() {
+        let off = match insn {
+            Insn::Ja { off } => Some(*off),
+            Insn::Jmp { off, .. } => Some(*off),
+            _ => None,
+        };
+        if let Some(off) = off {
+            targets.push((pc as i64 + 1 + i64::from(off)) as usize);
+        }
+    }
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of =
+        |pc: usize| -> Option<String> { targets.binary_search(&pc).ok().map(|i| format!("L{i}")) };
+
+    let mut out = String::new();
+    for (pc, insn) in prog.insns().iter().enumerate() {
+        if let Some(l) = label_of(pc) {
+            out.push_str(&l);
+            out.push_str(":\n");
+        }
+        out.push_str("    ");
+        match *insn {
+            Insn::Alu { wide, op, dst, src } => {
+                let suffix = if wide { "" } else { "32" };
+                if op == AluOp::Neg {
+                    out.push_str(&format!("{}{} {}", op.mnemonic(), suffix, dst));
+                } else {
+                    out.push_str(&format!(
+                        "{}{} {}, {}",
+                        op.mnemonic(),
+                        suffix,
+                        dst,
+                        operand_text(src)
+                    ));
+                }
+            }
+            Insn::LdImm64 { dst, imm } => {
+                out.push_str(&format!("ld64 {dst}, {:#x}", imm));
+            }
+            Insn::LdMapRef { dst, map_id } => {
+                let name = prog
+                    .map(map_id)
+                    .map(|m| m.def().name.clone())
+                    .unwrap_or_else(|| format!("map{map_id}"));
+                out.push_str(&format!("ldmap {dst}, {name}"));
+            }
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
+                out.push_str(&format!(
+                    "ldx{} {}, {}",
+                    size.suffix(),
+                    dst,
+                    mem_text(base, off)
+                ));
+            }
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => match src {
+                Operand::Reg(r) => out.push_str(&format!(
+                    "stx{} {}, {}",
+                    size.suffix(),
+                    mem_text(base, off),
+                    r
+                )),
+                Operand::Imm(i) => out.push_str(&format!(
+                    "st{} {}, {}",
+                    size.suffix(),
+                    mem_text(base, off),
+                    i
+                )),
+            },
+            Insn::Ja { off } => {
+                let t = (pc as i64 + 1 + i64::from(off)) as usize;
+                out.push_str(&format!("ja {}", label_of(t).unwrap_or_default()));
+            }
+            Insn::Jmp { op, dst, src, off } => {
+                let t = (pc as i64 + 1 + i64::from(off)) as usize;
+                out.push_str(&format!(
+                    "{} {}, {}, {}",
+                    op.mnemonic(),
+                    dst,
+                    operand_text(src),
+                    label_of(t).unwrap_or_default()
+                ));
+            }
+            Insn::Call { helper } => {
+                let name = HelperId::from_u32(helper)
+                    .map(|h| h.name().to_string())
+                    .unwrap_or_else(|| helper.to_string());
+                out.push_str(&format!("call {name}"));
+            }
+            Insn::Exit => out.push_str("exit"),
+        }
+        out.push('\n');
+    }
+    if let Some(l) = label_of(prog.insns().len()) {
+        out.push_str(&l);
+        out.push_str(":\n");
+    }
+    out
+}
+
+fn operand_text(op: Operand) -> String {
+    match op {
+        Operand::Reg(r) => r.to_string(),
+        Operand::Imm(i) => i.to_string(),
+    }
+}
+
+fn mem_text(base: Reg, off: i16) -> String {
+    if off == 0 {
+        format!("[{base}]")
+    } else if off < 0 {
+        format!("[{base}{off}]")
+    } else {
+        format!("[{base}+{off}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{MapDef, MapKind};
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            r#"
+            ; compute 6*7
+            mov r0, 6
+            mov r1, 7
+            mul r0, r1
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(
+            p.insns()[2],
+            Insn::Alu {
+                wide: true,
+                op: AluOp::Mul,
+                dst: Reg::R0,
+                src: Operand::Reg(Reg::R1)
+            }
+        );
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let p = assemble(
+            r#"
+            mov r0, 0
+            jeq r0, 0, done
+            mov r0, 1
+        done:
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.insns()[1],
+            Insn::Jmp {
+                op: JmpOp::Eq,
+                dst: Reg::R0,
+                src: Operand::Imm(0),
+                off: 1
+            }
+        );
+    }
+
+    #[test]
+    fn memory_and_wide_immediates() {
+        let p = assemble(
+            r#"
+            ld64 r1, 0xdeadbeefcafef00d
+            stxdw [r10-8], r1
+            ldxdw r0, [r10-8]
+            stw [r10-12], -5
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.insns()[0],
+            Insn::LdImm64 {
+                dst: Reg::R1,
+                imm: 0xdead_beef_cafe_f00d
+            }
+        );
+        assert_eq!(
+            p.insns()[3],
+            Insn::Store {
+                size: MemSize::W,
+                base: Reg::R10,
+                off: -12,
+                src: Operand::Imm(-5)
+            }
+        );
+    }
+
+    #[test]
+    fn helper_by_name_and_number() {
+        let p = assemble("call cpu_id\ncall 4\nexit").unwrap();
+        assert_eq!(p.insns()[0], Insn::Call { helper: 5 });
+        assert_eq!(p.insns()[1], Insn::Call { helper: 4 });
+    }
+
+    #[test]
+    fn maps_resolved_by_name() {
+        let m = Arc::new(Map::new(MapDef {
+            name: "counts".into(),
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 1,
+        }));
+        let p = assemble_named("t", "ldmap r1, counts\nmov r0, 0\nexit", &[m]).unwrap();
+        assert_eq!(
+            p.insns()[0],
+            Insn::LdMapRef {
+                dst: Reg::R1,
+                map_id: 0
+            }
+        );
+        let e = assemble_named("t", "ldmap r1, nope\nexit", &[]).unwrap_err();
+        assert!(e.msg.contains("unknown map"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = assemble("mov r0, 0\nbogus r1\nexit").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_bad_register_and_duplicate_label() {
+        assert!(assemble("mov r11, 0\nexit").is_err());
+        assert!(assemble("x:\nx:\nexit").is_err());
+        let e = assemble("ja nowhere\nexit").unwrap_err();
+        assert!(e.msg.contains("undefined label"));
+    }
+
+    #[test]
+    fn neg_and_32bit_ops() {
+        let p = assemble("mov r0, 5\nneg r0\nadd32 r0, 1\nexit").unwrap();
+        assert_eq!(
+            p.insns()[1],
+            Insn::Alu {
+                wide: true,
+                op: AluOp::Neg,
+                dst: Reg::R0,
+                src: Operand::Imm(0)
+            }
+        );
+        assert_eq!(
+            p.insns()[2],
+            Insn::Alu {
+                wide: false,
+                op: AluOp::Add,
+                dst: Reg::R0,
+                src: Operand::Imm(1)
+            }
+        );
+    }
+
+    #[test]
+    fn disassemble_assemble_roundtrip() {
+        let m = Arc::new(Map::new(MapDef {
+            name: "stats".into(),
+            kind: MapKind::Hash,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 8,
+        }));
+        let src = r#"
+            ldmap r1, stats
+            st w [r10-4], 1
+            mov r2, r10
+            add r2, -4
+            call map_lookup_elem
+            jne r0, 0, hit
+            mov r0, 0
+            exit
+        hit:
+            ldxdw r0, [r0]
+            exit
+        "#
+        .replace("st w", "stw");
+        let p1 = assemble_named("rt", &src, std::slice::from_ref(&m)).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble_named("rt", &text, &[m]).unwrap();
+        assert_eq!(p1.insns(), p2.insns());
+    }
+
+    #[test]
+    fn unsigned_hex_immediate_fits() {
+        let p = assemble("mov r0, 0xffffffff\nexit").unwrap();
+        assert_eq!(
+            p.insns()[0],
+            Insn::Alu {
+                wide: true,
+                op: AluOp::Mov,
+                dst: Reg::R0,
+                src: Operand::Imm(-1)
+            }
+        );
+    }
+}

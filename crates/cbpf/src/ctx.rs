@@ -1,0 +1,264 @@
+//! Context layouts: the typed window a policy gets onto lock state.
+//!
+//! Each Concord hook (Table 1 of the paper) passes the policy a small,
+//! fixed-layout context — e.g. `cmp_node` passes the lock id plus views of
+//! the shuffler node and the current node. The layout declares, per field,
+//! its offset, width and whether the policy may write it. The verifier
+//! rejects any access that is not an exact, aligned, permitted field access,
+//! which is how Concord keeps user policies from corrupting lock internals
+//! while still letting them *decide* (the paper's "APIs … do not modify the
+//! locking behavior but only return the decision").
+
+use crate::error::VerifyError;
+
+/// Whether a policy may write a context field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FieldAccess {
+    /// Policy may only read the field.
+    ReadOnly,
+    /// Policy may read and write the field (e.g. a scratch/out slot).
+    ReadWrite,
+}
+
+/// One field of a context layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FieldDef {
+    /// Field name (for diagnostics and host-side access).
+    pub name: &'static str,
+    /// Byte offset within the context buffer.
+    pub offset: usize,
+    /// Width in bytes: 1, 2, 4 or 8.
+    pub size: usize,
+    /// Access permission for the policy.
+    pub access: FieldAccess,
+}
+
+/// Declared shape of a hook context.
+///
+/// # Examples
+///
+/// ```
+/// use cbpf::ctx::{CtxLayout, FieldAccess};
+///
+/// let layout = CtxLayout::builder()
+///     .field("lock_id", 8, FieldAccess::ReadOnly)
+///     .field("curr_cpu", 4, FieldAccess::ReadOnly)
+///     .field("out", 8, FieldAccess::ReadWrite)
+///     .build();
+/// assert_eq!(layout.size(), 24);
+/// assert_eq!(layout.field("curr_cpu").unwrap().offset, 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CtxLayout {
+    fields: Vec<FieldDef>,
+    size: usize,
+}
+
+impl CtxLayout {
+    /// A layout with no fields (programs taking no context).
+    pub fn empty() -> Self {
+        CtxLayout {
+            fields: Vec::new(),
+            size: 0,
+        }
+    }
+
+    /// Starts building a layout; fields are packed in declaration order
+    /// with natural alignment.
+    pub fn builder() -> CtxLayoutBuilder {
+        CtxLayoutBuilder {
+            fields: Vec::new(),
+            offset: 0,
+        }
+    }
+
+    /// Total context size in bytes (8-byte aligned).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Validates an access of `size` bytes at `offset`: it must exactly
+    /// match a declared field, and writes require [`FieldAccess::ReadWrite`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`VerifyError`] the verifier reports for the bad access.
+    pub fn check_access(
+        &self,
+        pc: usize,
+        offset: i64,
+        size: usize,
+        is_write: bool,
+    ) -> Result<(), VerifyError> {
+        let f = self
+            .fields
+            .iter()
+            .find(|f| f.offset as i64 == offset && f.size == size)
+            .ok_or(VerifyError::BadCtxAccess { pc, off: offset })?;
+        if is_write && f.access == FieldAccess::ReadOnly {
+            return Err(VerifyError::ReadOnlyCtxField { pc, field: f.name });
+        }
+        Ok(())
+    }
+
+    /// Reads field `name` from a context buffer (host side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not exist or the buffer is too small — both
+    /// are host-side programming errors, not policy errors.
+    pub fn read(&self, buf: &[u8], name: &str) -> u64 {
+        let f = self
+            .field(name)
+            .unwrap_or_else(|| panic!("no context field `{name}`"));
+        let mut v = [0u8; 8];
+        v[..f.size].copy_from_slice(&buf[f.offset..f.offset + f.size]);
+        u64::from_le_bytes(v)
+    }
+
+    /// Writes field `name` into a context buffer (host side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not exist or the buffer is too small.
+    pub fn write(&self, buf: &mut [u8], name: &str, value: u64) {
+        let f = self
+            .field(name)
+            .unwrap_or_else(|| panic!("no context field `{name}`"));
+        buf[f.offset..f.offset + f.size].copy_from_slice(&value.to_le_bytes()[..f.size]);
+    }
+}
+
+/// Builder returned by [`CtxLayout::builder`].
+pub struct CtxLayoutBuilder {
+    fields: Vec<FieldDef>,
+    offset: usize,
+}
+
+impl CtxLayoutBuilder {
+    /// Appends a field of `size` bytes (1, 2, 4 or 8), naturally aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid size or duplicate name.
+    pub fn field(mut self, name: &'static str, size: usize, access: FieldAccess) -> Self {
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "field `{name}`: size must be 1, 2, 4 or 8"
+        );
+        assert!(
+            self.fields.iter().all(|f| f.name != name),
+            "duplicate field `{name}`"
+        );
+        let offset = (self.offset + size - 1) & !(size - 1);
+        self.fields.push(FieldDef {
+            name,
+            offset,
+            size,
+            access,
+        });
+        self.offset = offset + size;
+        self
+    }
+
+    /// Finishes the layout, rounding the size up to 8 bytes.
+    pub fn build(self) -> CtxLayout {
+        CtxLayout {
+            fields: self.fields,
+            size: (self.offset + 7) & !7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> CtxLayout {
+        CtxLayout::builder()
+            .field("a", 8, FieldAccess::ReadOnly)
+            .field("b", 4, FieldAccess::ReadOnly)
+            .field("c", 1, FieldAccess::ReadOnly)
+            .field("d", 4, FieldAccess::ReadWrite)
+            .build()
+    }
+
+    #[test]
+    fn natural_alignment_and_padding() {
+        let l = layout();
+        assert_eq!(l.field("a").unwrap().offset, 0);
+        assert_eq!(l.field("b").unwrap().offset, 8);
+        assert_eq!(l.field("c").unwrap().offset, 12);
+        // `d` is 4-byte aligned, so it skips the byte at 13.
+        assert_eq!(l.field("d").unwrap().offset, 16);
+        assert_eq!(l.size(), 24);
+    }
+
+    #[test]
+    fn check_access_exact_match_only() {
+        let l = layout();
+        assert!(l.check_access(0, 0, 8, false).is_ok());
+        // Wrong size.
+        assert!(matches!(
+            l.check_access(0, 0, 4, false),
+            Err(VerifyError::BadCtxAccess { .. })
+        ));
+        // Interior offset.
+        assert!(matches!(
+            l.check_access(0, 2, 2, false),
+            Err(VerifyError::BadCtxAccess { .. })
+        ));
+        // Padding byte.
+        assert!(matches!(
+            l.check_access(0, 13, 1, false),
+            Err(VerifyError::BadCtxAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn write_permission_enforced() {
+        let l = layout();
+        assert!(matches!(
+            l.check_access(3, 0, 8, true),
+            Err(VerifyError::ReadOnlyCtxField { pc: 3, field: "a" })
+        ));
+        assert!(l.check_access(0, 16, 4, true).is_ok());
+    }
+
+    #[test]
+    fn host_read_write_roundtrip() {
+        let l = layout();
+        let mut buf = vec![0u8; l.size()];
+        l.write(&mut buf, "a", 0xdead_beef_0bad_cafe);
+        l.write(&mut buf, "b", 0x1234_5678);
+        l.write(&mut buf, "c", 0xab);
+        assert_eq!(l.read(&buf, "a"), 0xdead_beef_0bad_cafe);
+        assert_eq!(l.read(&buf, "b"), 0x1234_5678);
+        assert_eq!(l.read(&buf, "c"), 0xab);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_field_panics() {
+        CtxLayout::builder()
+            .field("x", 8, FieldAccess::ReadOnly)
+            .field("x", 4, FieldAccess::ReadOnly);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = CtxLayout::empty();
+        assert_eq!(l.size(), 0);
+        assert!(l.check_access(0, 0, 1, false).is_err());
+    }
+}

@@ -1,0 +1,875 @@
+//! A restricted C-style policy language, compiled to the bytecode ISA.
+//!
+//! The paper's users "implement their required policies … in a C-style
+//! code, which is translated into native code and is checked by an eBPF
+//! verifier" (§4.2). This module is that frontend: a small expression
+//! language with `let`, `if`/`else` and `return`, where context fields
+//! appear as bare identifiers and helpers as function calls:
+//!
+//! ```text
+//! // NUMA-aware cmp_node: group waiters from the shuffler's socket.
+//! if (curr_socket == shuffler_socket)
+//!     return 1;
+//! return 0;
+//! ```
+//!
+//! The compiler performs no safety reasoning of its own — its output goes
+//! through the same verifier as hand-written assembly, which is the
+//! paper's trust model (the frontend is untrusted, the verifier is not).
+//!
+//! # Semantics
+//!
+//! * All values are 64-bit integers.
+//! * Comparisons (`<`, `<=`, `>`, `>=`) are **signed** (C `long`).
+//! * Division, modulo and `>>` are **unsigned** (eBPF semantics; division
+//!   by zero yields 0, modulo by zero yields the dividend).
+//! * `&&` and `||` short-circuit and yield 0/1.
+//! * Falling off the end returns 0.
+
+use std::collections::HashMap;
+
+use crate::ctx::CtxLayout;
+use crate::error::AsmError;
+use crate::helpers::HelperId;
+use crate::insn::{AluOp, JmpOp, MemSize, Reg};
+use crate::program::{Program, ProgramBuilder};
+
+/// Maximum `let` bindings plus expression depth (stack slots of 8 bytes).
+const MAX_SLOTS: i64 = 56;
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Num(u64),
+    Ident(String),
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Assign,
+    OrOr,
+    AndAnd,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Pipe,
+    Caret,
+    Amp,
+    Shl,
+    Shr,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Tilde,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwReturn,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, AsmError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        // Line comment.
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        loop {
+                            match chars.next() {
+                                Some('\n') => {
+                                    line += 1;
+                                    prev = '\n';
+                                }
+                                Some('/') if prev == '*' => break,
+                                Some(c) => prev = c,
+                                None => return Err(err(line, "unterminated comment")),
+                            }
+                        }
+                    }
+                    _ => out.push((Tok::Slash, line)),
+                }
+            }
+            '0'..='9' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(&hex.replace('_', ""), 16)
+                } else {
+                    s.replace('_', "").parse::<u64>()
+                }
+                .map_err(|_| err(line, format!("bad number `{s}`")))?;
+                out.push((Tok::Num(v), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((
+                    match s.as_str() {
+                        "let" => Tok::KwLet,
+                        "if" => Tok::KwIf,
+                        "else" => Tok::KwElse,
+                        "return" => Tok::KwReturn,
+                        _ => Tok::Ident(s),
+                    },
+                    line,
+                ));
+            }
+            _ => {
+                chars.next();
+                let two = |chars: &mut std::iter::Peekable<std::str::Chars>, next: char| {
+                    if chars.peek() == Some(&next) {
+                        chars.next();
+                        true
+                    } else {
+                        false
+                    }
+                };
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '|' => {
+                        if two(&mut chars, '|') {
+                            Tok::OrOr
+                        } else {
+                            Tok::Pipe
+                        }
+                    }
+                    '&' => {
+                        if two(&mut chars, '&') {
+                            Tok::AndAnd
+                        } else {
+                            Tok::Amp
+                        }
+                    }
+                    '=' => {
+                        if two(&mut chars, '=') {
+                            Tok::Eq
+                        } else {
+                            Tok::Assign
+                        }
+                    }
+                    '!' => {
+                        if two(&mut chars, '=') {
+                            Tok::Ne
+                        } else {
+                            Tok::Bang
+                        }
+                    }
+                    '<' => {
+                        if two(&mut chars, '=') {
+                            Tok::Le
+                        } else if two(&mut chars, '<') {
+                            Tok::Shl
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if two(&mut chars, '=') {
+                            Tok::Ge
+                        } else if two(&mut chars, '>') {
+                            Tok::Shr
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '^' => Tok::Caret,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '%' => Tok::Percent,
+                    '~' => Tok::Tilde,
+                    other => return Err(err(line, format!("unexpected character `{other}`"))),
+                };
+                out.push((tok, line));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------- ast --
+
+#[derive(Debug)]
+enum Expr {
+    Num(u64),
+    Var(String, usize),
+    Call(String, Vec<Expr>, usize),
+    Unary(Tok, Box<Expr>),
+    Binary(Tok, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug)]
+enum Stmt {
+    Let(String, Expr, usize),
+    Return(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), AsmError> {
+        let line = self.line();
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => Err(err(line, format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Stmt>, AsmError> {
+        let mut stmts = Vec::new();
+        while self.peek().is_some() {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, AsmError> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.next();
+            let mut stmts = Vec::new();
+            while self.peek() != Some(&Tok::RBrace) {
+                if self.peek().is_none() {
+                    return Err(err(self.line(), "unterminated block"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.next();
+            Ok(stmts)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, AsmError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::KwLet) => {
+                self.next();
+                let name = match self.next() {
+                    Some(Tok::Ident(n)) => n,
+                    got => return Err(err(line, format!("expected name after let, got {got:?}"))),
+                };
+                self.expect(Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let(name, e, line))
+            }
+            Some(Tok::KwReturn) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Tok::KwIf) => {
+                self.next();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.block()?;
+                let otherwise = if self.peek() == Some(&Tok::KwElse) {
+                    self.next();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, otherwise))
+            }
+            got => Err(err(line, format!("expected statement, got {got:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, AsmError> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing over the binary operator tiers.
+    fn binary(&mut self, tier: usize) -> Result<Expr, AsmError> {
+        const TIERS: &[&[Tok]] = &[
+            &[Tok::OrOr],
+            &[Tok::AndAnd],
+            &[Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge],
+            &[Tok::Pipe],
+            &[Tok::Caret],
+            &[Tok::Amp],
+            &[Tok::Shl, Tok::Shr],
+            &[Tok::Plus, Tok::Minus],
+            &[Tok::Star, Tok::Slash, Tok::Percent],
+        ];
+        if tier == TIERS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(tier + 1)?;
+        while let Some(t) = self.peek() {
+            if TIERS[tier].contains(t) {
+                let op = self.next().expect("peeked");
+                let rhs = self.binary(tier + 1)?;
+                lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, AsmError> {
+        match self.peek() {
+            Some(Tok::Minus) | Some(Tok::Bang) | Some(Tok::Tilde) => {
+                let op = self.next().expect("peeked");
+                Ok(Expr::Unary(op, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, AsmError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args, line))
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            got => Err(err(line, format!("expected expression, got {got:?}"))),
+        }
+    }
+}
+
+// -------------------------------------------------------------- codegen --
+
+struct Codegen<'a> {
+    b: ProgramBuilder,
+    layout: &'a CtxLayout,
+    vars: HashMap<String, i64>, // name → stack slot index
+    depth: i64,                 // current temporary-stack depth
+    labels: u32,
+}
+
+impl<'a> Codegen<'a> {
+    /// Stack byte offset (from r10) for slot `i`.
+    fn slot_off(i: i64) -> i16 {
+        (-8 * (i + 1)) as i16
+    }
+
+    fn fresh(&mut self, what: &str) -> String {
+        self.labels += 1;
+        format!("__{what}{}", self.labels)
+    }
+
+    fn push_tmp(&mut self, line: usize) -> Result<i64, AsmError> {
+        let slot = self.vars.len() as i64 + self.depth;
+        if slot >= MAX_SLOTS {
+            return Err(err(line, "expression too deep"));
+        }
+        self.depth += 1;
+        self.b
+            .store(MemSize::Dw, Reg::R10, Self::slot_off(slot), Reg::R0);
+        Ok(slot)
+    }
+
+    fn pop_tmp(&mut self, slot: i64, into: Reg) {
+        self.b
+            .load(MemSize::Dw, into, Reg::R10, Self::slot_off(slot));
+        self.depth -= 1;
+    }
+
+    /// Emits code leaving the expression value in `r0`.
+    fn expr(&mut self, e: &Expr) -> Result<(), AsmError> {
+        match e {
+            Expr::Num(v) => {
+                if *v <= i32::MAX as u64 {
+                    self.b.mov_imm(Reg::R0, *v as i32);
+                } else {
+                    self.b.ld_imm64(Reg::R0, *v);
+                }
+            }
+            Expr::Var(name, line) => {
+                if let Some(&slot) = self.vars.get(name) {
+                    self.b
+                        .load(MemSize::Dw, Reg::R0, Reg::R10, Self::slot_off(slot));
+                } else if let Some(f) = self.layout.field(name) {
+                    let size = match f.size {
+                        1 => MemSize::B,
+                        2 => MemSize::H,
+                        4 => MemSize::W,
+                        _ => MemSize::Dw,
+                    };
+                    // r6 holds the saved context pointer.
+                    self.b.load(size, Reg::R0, Reg::R6, f.offset as i16);
+                } else {
+                    return Err(err(
+                        *line,
+                        format!("unknown identifier `{name}` (not a let binding or context field)"),
+                    ));
+                }
+            }
+            Expr::Call(name, args, line) => {
+                let helper = HelperId::from_name(name)
+                    .ok_or_else(|| err(*line, format!("unknown helper `{name}`")))?;
+                if args.len() > 5 {
+                    return Err(err(*line, "helpers take at most 5 arguments"));
+                }
+                // Evaluate arguments onto the stack, then fill r1..rN.
+                let mut slots = Vec::new();
+                for a in args {
+                    self.expr(a)?;
+                    slots.push(self.push_tmp(*line)?);
+                }
+                for (i, slot) in slots.iter().enumerate() {
+                    self.b.load(
+                        MemSize::Dw,
+                        Reg(1 + i as u8),
+                        Reg::R10,
+                        Self::slot_off(*slot),
+                    );
+                }
+                self.depth -= slots.len() as i64;
+                self.b.call(helper);
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner)?;
+                match op {
+                    Tok::Minus => {
+                        self.b.alu_imm(AluOp::Neg, Reg::R0, 0);
+                    }
+                    Tok::Tilde => {
+                        self.b.alu_imm(AluOp::Xor, Reg::R0, -1);
+                    }
+                    Tok::Bang => {
+                        let one = self.fresh("not_true");
+                        let end = self.fresh("not_end");
+                        self.b.jmp_imm(JmpOp::Eq, Reg::R0, 0, &one);
+                        self.b.mov_imm(Reg::R0, 0);
+                        self.b.ja(&end);
+                        self.b.label(&one);
+                        self.b.mov_imm(Reg::R0, 1);
+                        self.b.label(&end);
+                    }
+                    _ => unreachable!("parser only produces unary -, ~, !"),
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => self.binary(op, lhs, rhs)?,
+        }
+        Ok(())
+    }
+
+    fn binary(&mut self, op: &Tok, lhs: &Expr, rhs: &Expr) -> Result<(), AsmError> {
+        // Short-circuit forms first.
+        if matches!(op, Tok::AndAnd | Tok::OrOr) {
+            let settle = self.fresh("sc_settle");
+            let end = self.fresh("sc_end");
+            self.expr(lhs)?;
+            match op {
+                Tok::AndAnd => {
+                    self.b.jmp_imm(JmpOp::Eq, Reg::R0, 0, &settle);
+                }
+                _ => {
+                    self.b.jmp_imm(JmpOp::Ne, Reg::R0, 0, &settle);
+                }
+            }
+            self.expr(rhs)?;
+            self.b.label(&settle);
+            // Normalize whatever r0 holds to 0/1.
+            let one = self.fresh("sc_one");
+            self.b.jmp_imm(JmpOp::Ne, Reg::R0, 0, &one);
+            self.b.mov_imm(Reg::R0, 0);
+            self.b.ja(&end);
+            self.b.label(&one);
+            self.b.mov_imm(Reg::R0, 1);
+            self.b.label(&end);
+            return Ok(());
+        }
+
+        self.expr(lhs)?;
+        let slot = self.push_tmp(0)?;
+        self.expr(rhs)?;
+        self.pop_tmp(slot, Reg::R2); // r2 = lhs, r0 = rhs.
+
+        let simple = |o: AluOp| Some(o);
+        let alu = match op {
+            Tok::Plus => simple(AluOp::Add),
+            Tok::Minus => simple(AluOp::Sub),
+            Tok::Star => simple(AluOp::Mul),
+            Tok::Slash => simple(AluOp::Div),
+            Tok::Percent => simple(AluOp::Mod),
+            Tok::Pipe => simple(AluOp::Or),
+            Tok::Caret => simple(AluOp::Xor),
+            Tok::Amp => simple(AluOp::And),
+            Tok::Shl => simple(AluOp::Lsh),
+            Tok::Shr => simple(AluOp::Rsh),
+            _ => None,
+        };
+        if let Some(a) = alu {
+            // r2 = r2 op r0; move into r0.
+            self.b.alu(a, Reg::R2, Reg::R0);
+            self.b.mov(Reg::R0, Reg::R2);
+            return Ok(());
+        }
+
+        // Comparisons (signed relational, per C `long`).
+        let jop = match op {
+            Tok::Eq => JmpOp::Eq,
+            Tok::Ne => JmpOp::Ne,
+            Tok::Lt => JmpOp::Slt,
+            Tok::Le => JmpOp::Sle,
+            Tok::Gt => JmpOp::Sgt,
+            Tok::Ge => JmpOp::Sge,
+            other => unreachable!("non-binary operator {other:?}"),
+        };
+        let yes = self.fresh("cmp_true");
+        let end = self.fresh("cmp_end");
+        self.b.jmp(jop, Reg::R2, Reg::R0, &yes);
+        self.b.mov_imm(Reg::R0, 0);
+        self.b.ja(&end);
+        self.b.label(&yes);
+        self.b.mov_imm(Reg::R0, 1);
+        self.b.label(&end);
+        Ok(())
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), AsmError> {
+        for s in stmts {
+            match s {
+                Stmt::Let(name, e, line) => {
+                    self.expr(e)?;
+                    let slot = match self.vars.get(name) {
+                        Some(&slot) => slot, // Rebinding reuses the slot.
+                        None => {
+                            let slot = self.vars.len() as i64;
+                            if slot + self.depth >= MAX_SLOTS {
+                                return Err(err(*line, "too many variables"));
+                            }
+                            self.vars.insert(name.clone(), slot);
+                            slot
+                        }
+                    };
+                    self.b
+                        .store(MemSize::Dw, Reg::R10, Self::slot_off(slot), Reg::R0);
+                }
+                Stmt::Return(e) => {
+                    self.expr(e)?;
+                    self.b.exit();
+                }
+                Stmt::If(cond, then, otherwise) => {
+                    let else_l = self.fresh("else");
+                    let end_l = self.fresh("endif");
+                    self.expr(cond)?;
+                    self.b.jmp_imm(JmpOp::Eq, Reg::R0, 0, &else_l);
+                    self.stmts(then)?;
+                    self.b.ja(&end_l);
+                    self.b.label(&else_l);
+                    self.stmts(otherwise)?;
+                    self.b.label(&end_l);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles C-style policy source into a program (unverified — run the
+/// verifier next, exactly as for assembly).
+///
+/// Context fields of `layout` are readable as bare identifiers; helpers
+/// are callable by name.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax errors, unknown
+/// identifiers/helpers, and resource-limit violations.
+pub fn compile(name: &str, src: &str, layout: &CtxLayout) -> Result<Program, AsmError> {
+    let toks = lex(src)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let stmts = parser.program()?;
+    let mut cg = Codegen {
+        b: ProgramBuilder::new(name),
+        layout,
+        vars: HashMap::new(),
+        depth: 0,
+        labels: 0,
+    };
+    // Dedicate r6 to the context pointer: helpers clobber r1-r5.
+    if layout.size() > 0 {
+        cg.b.mov(Reg::R6, Reg::R1);
+    }
+    cg.stmts(&stmts)?;
+    // Implicit `return 0`.
+    cg.b.mov_imm(Reg::R0, 0);
+    cg.b.exit();
+    cg.b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FieldAccess;
+    use crate::helpers::FixedEnv;
+    use crate::interp::run_program;
+    use crate::verifier::verify;
+
+    fn layout() -> CtxLayout {
+        CtxLayout::builder()
+            .field("a", 8, FieldAccess::ReadOnly)
+            .field("b", 4, FieldAccess::ReadOnly)
+            .field("prio", 8, FieldAccess::ReadOnly)
+            .build()
+    }
+
+    fn run(src: &str, a: u64, b: u64, prio: i64) -> u64 {
+        let l = layout();
+        let prog = compile("t", src, &l).expect("compiles");
+        verify(&prog, &l).expect("verifies");
+        let mut ctx = vec![0u8; l.size()];
+        l.write(&mut ctx, "a", a);
+        l.write(&mut ctx, "b", b);
+        l.write(&mut ctx, "prio", prio as u64);
+        run_program(&prog, &mut ctx, &l, &FixedEnv::new().cpu(12).numa(3)).expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("return 2 + 3 * 4;", 0, 0, 0), 14);
+        assert_eq!(run("return (2 + 3) * 4;", 0, 0, 0), 20);
+        assert_eq!(run("return 10 - 2 - 3;", 0, 0, 0), 5);
+        assert_eq!(run("return 7 / 2;", 0, 0, 0), 3);
+        assert_eq!(run("return 7 % 4;", 0, 0, 0), 3);
+        assert_eq!(run("return 1 << 4 | 3;", 0, 0, 0), 19);
+        assert_eq!(run("return 0xff & 0x0f;", 0, 0, 0), 0x0f);
+        assert_eq!(run("return 6 ^ 3;", 0, 0, 0), 5);
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(run("return -5 + 7;", 0, 0, 0), 2);
+        assert_eq!(run("return !0;", 0, 0, 0), 1);
+        assert_eq!(run("return !7;", 0, 0, 0), 0);
+        assert_eq!(run("return ~0 & 0xff;", 0, 0, 0), 0xff);
+    }
+
+    #[test]
+    fn ctx_fields_and_comparisons() {
+        let src = "return a == b;";
+        assert_eq!(run(src, 5, 5, 0), 1);
+        assert_eq!(run(src, 5, 6, 0), 0);
+        // Signed comparison with a negative field.
+        assert_eq!(run("return prio < 0;", 0, 0, -3), 1);
+        assert_eq!(run("return prio < 0;", 0, 0, 3), 0);
+        assert_eq!(run("return prio >= -5;", 0, 0, -3), 1);
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        assert_eq!(run("return 1 && 2;", 0, 0, 0), 1);
+        assert_eq!(run("return 1 && 0;", 0, 0, 0), 0);
+        assert_eq!(run("return 0 || 3;", 0, 0, 0), 1);
+        assert_eq!(run("return 0 || 0;", 0, 0, 0), 0);
+        // Division by a zero field would be fine (eBPF: 0), but the short
+        // circuit must prevent evaluation anyway.
+        assert_eq!(run("return b != 0 && 10 / b > 1;", 0, 0, 0), 0);
+        assert_eq!(run("return b != 0 && 10 / b > 1;", 0, 4, 0), 1);
+    }
+
+    #[test]
+    fn let_if_else_and_implicit_return() {
+        let src = r#"
+            let x = a * 2;
+            if (x > b) {
+                return x - b;
+            } else {
+                return b - x;
+            }
+        "#;
+        assert_eq!(run(src, 5, 4, 0), 6);
+        assert_eq!(run(src, 1, 10, 0), 8);
+        // Implicit return 0 at the end.
+        assert_eq!(run("let x = 5;", 0, 0, 0), 0);
+        // Rebinding.
+        assert_eq!(run("let x = 1; let x = x + 1; return x;", 0, 0, 0), 2);
+    }
+
+    #[test]
+    fn helper_calls() {
+        assert_eq!(run("return cpu_id();", 0, 0, 0), 12);
+        assert_eq!(run("return numa_id();", 0, 0, 0), 3);
+        assert_eq!(run("return cpu_to_node(25);", 0, 0, 0), 2);
+        assert_eq!(run("return cpu_to_node(cpu_id() + 10);", 0, 0, 0), 2);
+    }
+
+    #[test]
+    fn the_papers_numa_policy_in_c() {
+        let l = CtxLayout::builder()
+            .field("lock_id", 8, FieldAccess::ReadOnly)
+            .field("shuffler_socket", 4, FieldAccess::ReadOnly)
+            .field("curr_socket", 4, FieldAccess::ReadOnly)
+            .build();
+        let src = r#"
+            // NUMA-aware cmp_node: move same-socket waiters forward.
+            if (curr_socket == shuffler_socket)
+                return 1;
+            return 0;
+        "#;
+        let prog = compile("numa", src, &l).unwrap();
+        verify(&prog, &l).unwrap();
+        let mut ctx = vec![0u8; l.size()];
+        l.write(&mut ctx, "shuffler_socket", 2);
+        l.write(&mut ctx, "curr_socket", 2);
+        assert_eq!(
+            run_program(&prog, &mut ctx, &l, &FixedEnv::new()).unwrap(),
+            1
+        );
+        l.write(&mut ctx, "curr_socket", 5);
+        assert_eq!(
+            run_program(&prog, &mut ctx, &l, &FixedEnv::new()).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let l = layout();
+        let e = compile("t", "return bogus;", &l).unwrap_err();
+        assert!(e.msg.contains("unknown identifier"), "{e}");
+        let e = compile("t", "return nope();", &l).unwrap_err();
+        assert!(e.msg.contains("unknown helper"), "{e}");
+        let e = compile("t", "\n\nreturn @;", &l).unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = compile("t", "if (1) { return 1;", &l).unwrap_err();
+        assert!(e.msg.contains("unterminated"), "{e}");
+        let e = compile("t", "let = 5;", &l).unwrap_err();
+        assert!(e.msg.contains("expected name"), "{e}");
+    }
+
+    #[test]
+    fn compiled_output_always_verifies() {
+        // A grab-bag of shapes; everything the compiler emits must pass
+        // the verifier (forward jumps only, bounded stack, typed ctx).
+        let l = layout();
+        for src in [
+            "return 0;",
+            "return a + b * prio - 3;",
+            "let x = a; let y = x + b; let z = y * 2; return z % 7;",
+            "if (a > b || prio < 0 && b != 0) return 1; return 2;",
+            "if (a == 1) { if (b == 2) { return 3; } return 4; } return 5;",
+            "return !(a == b) && ~prio != 0;",
+            "return ktime_ns() + pid() + prandom();",
+            "let t = task_priority(a); if (t > prio) return 1; return 0;",
+        ] {
+            let prog = compile("t", src, &l).unwrap_or_else(|e| panic!("{src}: {e}"));
+            verify(&prog, &l).unwrap_or_else(|e| panic!("{src}: verifier: {e}"));
+        }
+    }
+
+    #[test]
+    fn deep_expressions_rejected_cleanly() {
+        let l = layout();
+        let mut src = String::from("return 1");
+        for _ in 0..70 {
+            src.push_str(" + (1");
+        }
+        src.push('1');
+        for _ in 0..70 {
+            src.push(')');
+        }
+        src.push(';');
+        // Either a parse error or a depth error, never a panic.
+        let _ = compile("t", &src, &l);
+    }
+}

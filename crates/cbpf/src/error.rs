@@ -1,0 +1,352 @@
+//! Error types for decoding, assembling, verifying and running programs.
+
+use std::fmt;
+
+/// Error decoding raw instruction slots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Unknown opcode byte at `pc`.
+    BadOpcode {
+        /// Slot index.
+        pc: usize,
+        /// Offending opcode byte.
+        op: u8,
+    },
+    /// Register number out of range at `pc`.
+    BadRegister {
+        /// Slot index.
+        pc: usize,
+        /// Offending register number.
+        reg: u8,
+    },
+    /// A two-slot `ldimm64` was cut off at the end of the program.
+    TruncatedImm64 {
+        /// Slot index of the first half.
+        pc: usize,
+    },
+    /// A jump lands inside a two-slot instruction or outside the program.
+    BadJumpTarget {
+        /// Slot index of the jump.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { pc, op } => {
+                write!(f, "unknown opcode {op:#04x} at instruction {pc}")
+            }
+            DecodeError::BadRegister { pc, reg } => {
+                write!(f, "bad register r{reg} at instruction {pc}")
+            }
+            DecodeError::TruncatedImm64 { pc } => {
+                write!(f, "truncated ldimm64 at instruction {pc}")
+            }
+            DecodeError::BadJumpTarget { pc } => {
+                write!(f, "jump at slot {pc} targets an invalid position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Error produced by the assembler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Rejection reason from the verifier.
+///
+/// Every variant carries the program counter of the offending instruction so
+/// the "notify user" step of the Concord workflow (Fig. 1, step 4) can point
+/// at the exact policy line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// The program is empty or exceeds the instruction limit.
+    BadProgramSize {
+        /// Number of instructions found.
+        len: usize,
+    },
+    /// A jump leaves the program or splits an instruction.
+    JumpOutOfBounds {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// A backward jump (loop) — rejected to guarantee termination.
+    BackEdge {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// Execution can fall off the end without `exit`.
+    FallOffEnd,
+    /// Read of an uninitialized register.
+    UninitRegister {
+        /// Offending pc.
+        pc: usize,
+        /// The register.
+        reg: u8,
+    },
+    /// Write to the read-only frame pointer `r10`.
+    FramePointerWrite {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// A memory access through a non-pointer register.
+    NotAPointer {
+        /// Offending pc.
+        pc: usize,
+        /// The register.
+        reg: u8,
+    },
+    /// A memory access outside its region.
+    OutOfBounds {
+        /// Offending pc.
+        pc: usize,
+        /// Attempted byte offset.
+        off: i64,
+        /// Access width in bytes.
+        size: usize,
+    },
+    /// Read of uninitialized stack bytes.
+    UninitStack {
+        /// Offending pc.
+        pc: usize,
+        /// Stack byte offset below `r10`.
+        off: i64,
+    },
+    /// Unaligned context or map access.
+    Unaligned {
+        /// Offending pc.
+        pc: usize,
+        /// Attempted byte offset.
+        off: i64,
+    },
+    /// Context access that does not match a declared field.
+    BadCtxAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Attempted byte offset.
+        off: i64,
+    },
+    /// Write to a read-only context field.
+    ReadOnlyCtxField {
+        /// Offending pc.
+        pc: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// Pointer arithmetic the verifier cannot bound.
+    BadPointerArithmetic {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// Division or modulo by a constant zero.
+    DivByZero {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// Unknown helper id.
+    UnknownHelper {
+        /// Offending pc.
+        pc: usize,
+        /// Helper id.
+        helper: u32,
+    },
+    /// Helper argument type mismatch.
+    BadHelperArg {
+        /// Offending pc.
+        pc: usize,
+        /// Helper id.
+        helper: u32,
+        /// 1-based argument index.
+        arg: u8,
+        /// Description of the expected type.
+        expected: &'static str,
+    },
+    /// Dereference of a possibly-null map value pointer.
+    PossiblyNullDeref {
+        /// Offending pc.
+        pc: usize,
+        /// The register.
+        reg: u8,
+    },
+    /// Reference to a map id not present in the program's map table.
+    UnknownMap {
+        /// Offending pc.
+        pc: usize,
+        /// Map id.
+        map_id: u32,
+    },
+    /// `exit` with an uninitialized or non-scalar `r0`.
+    BadReturnValue {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// The verifier's state budget was exhausted (program too branchy).
+    TooComplex {
+        /// States explored before giving up.
+        states: usize,
+    },
+    /// A lock-safety rule imposed by the hook was violated (e.g., a
+    /// decision hook returning a pointer).
+    HookRule {
+        /// Description of the violated rule.
+        rule: &'static str,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadProgramSize { len } => {
+                write!(f, "program size {len} outside [1, 4096]")
+            }
+            VerifyError::JumpOutOfBounds { pc } => write!(f, "pc {pc}: jump out of bounds"),
+            VerifyError::BackEdge { pc } => {
+                write!(f, "pc {pc}: backward jump (loops are not allowed)")
+            }
+            VerifyError::FallOffEnd => write!(f, "control can fall off the end"),
+            VerifyError::UninitRegister { pc, reg } => {
+                write!(f, "pc {pc}: read of uninitialized r{reg}")
+            }
+            VerifyError::FramePointerWrite { pc } => {
+                write!(f, "pc {pc}: write to read-only frame pointer r10")
+            }
+            VerifyError::NotAPointer { pc, reg } => {
+                write!(f, "pc {pc}: memory access via non-pointer r{reg}")
+            }
+            VerifyError::OutOfBounds { pc, off, size } => {
+                write!(
+                    f,
+                    "pc {pc}: access of {size} bytes at offset {off} out of bounds"
+                )
+            }
+            VerifyError::UninitStack { pc, off } => {
+                write!(f, "pc {pc}: read of uninitialized stack at offset {off}")
+            }
+            VerifyError::Unaligned { pc, off } => {
+                write!(f, "pc {pc}: unaligned access at offset {off}")
+            }
+            VerifyError::BadCtxAccess { pc, off } => {
+                write!(
+                    f,
+                    "pc {pc}: context access at offset {off} matches no field"
+                )
+            }
+            VerifyError::ReadOnlyCtxField { pc, field } => {
+                write!(f, "pc {pc}: write to read-only context field `{field}`")
+            }
+            VerifyError::BadPointerArithmetic { pc } => {
+                write!(f, "pc {pc}: unbounded pointer arithmetic")
+            }
+            VerifyError::DivByZero { pc } => write!(f, "pc {pc}: division by constant zero"),
+            VerifyError::UnknownHelper { pc, helper } => {
+                write!(f, "pc {pc}: unknown helper {helper}")
+            }
+            VerifyError::BadHelperArg {
+                pc,
+                helper,
+                arg,
+                expected,
+            } => write!(
+                f,
+                "pc {pc}: helper {helper} argument {arg} must be {expected}"
+            ),
+            VerifyError::PossiblyNullDeref { pc, reg } => {
+                write!(
+                    f,
+                    "pc {pc}: r{reg} may be null; test it before dereferencing"
+                )
+            }
+            VerifyError::UnknownMap { pc, map_id } => {
+                write!(f, "pc {pc}: map id {map_id} not in program map table")
+            }
+            VerifyError::BadReturnValue { pc } => {
+                write!(f, "pc {pc}: exit requires r0 to hold an initialized scalar")
+            }
+            VerifyError::TooComplex { states } => {
+                write!(f, "program too complex: exceeded {states} verifier states")
+            }
+            VerifyError::HookRule { rule } => write!(f, "hook safety rule violated: {rule}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Runtime fault from the interpreter.
+///
+/// A verified program never produces any of these except
+/// [`RunError::BudgetExhausted`]; the interpreter checks everything anyway
+/// (defense in depth), which is what the verifier soundness property tests
+/// rely on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// Program counter left the program.
+    PcOutOfBounds {
+        /// Offending pc.
+        pc: i64,
+    },
+    /// Read of an uninitialized register (interpreter tracks validity).
+    UninitRegister {
+        /// Offending pc.
+        pc: usize,
+        /// The register.
+        reg: u8,
+    },
+    /// Memory access outside any live region.
+    BadAccess {
+        /// Offending pc.
+        pc: usize,
+        /// The raw pointer value.
+        addr: u64,
+    },
+    /// Instruction budget exhausted.
+    BudgetExhausted,
+    /// Helper call failed (unknown helper or bad arguments at runtime).
+    HelperFault {
+        /// Offending pc.
+        pc: usize,
+        /// Helper id.
+        helper: u32,
+        /// Description.
+        msg: &'static str,
+    },
+    /// `exit` never executed (program ended without it).
+    NoExit,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::PcOutOfBounds { pc } => write!(f, "pc {pc} out of bounds"),
+            RunError::UninitRegister { pc, reg } => {
+                write!(f, "pc {pc}: read of uninitialized r{reg}")
+            }
+            RunError::BadAccess { pc, addr } => {
+                write!(f, "pc {pc}: bad memory access at {addr:#x}")
+            }
+            RunError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            RunError::HelperFault { pc, helper, msg } => {
+                write!(f, "pc {pc}: helper {helper} fault: {msg}")
+            }
+            RunError::NoExit => write!(f, "program ended without exit"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}

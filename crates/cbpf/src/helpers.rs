@@ -1,0 +1,404 @@
+//! Helper functions callable from policies, and the environment trait that
+//! backs them.
+//!
+//! The paper: "we use eBPF helper functions, such as CPU ID, NUMA ID and
+//! time along with its map data structure to store information at runtime"
+//! (§4.2). The set below covers those plus the map operations and a
+//! `trace_printk` analog for the profiling use cases.
+//!
+//! Helpers are dispatched through [`PolicyEnv`], so the same verified policy
+//! runs unchanged against the real machine (thread-locals, `Instant`) or
+//! the `ksim` virtual machine (virtual CPU, virtual time).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Stable helper identifiers (the `call` immediate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u32)]
+pub enum HelperId {
+    /// `map_lookup_elem(map, key_ptr) -> value_ptr | null`
+    MapLookup = 1,
+    /// `map_update_elem(map, key_ptr, value_ptr, flags) -> 0 | -1`
+    MapUpdate = 2,
+    /// `map_delete_elem(map, key_ptr) -> 0 | -1`
+    MapDelete = 3,
+    /// `ktime_ns() -> u64` — current time.
+    KtimeNs = 4,
+    /// `cpu_id() -> u32` — CPU executing the hook.
+    CpuId = 5,
+    /// `numa_id() -> u32` — NUMA node of that CPU.
+    NumaId = 6,
+    /// `pid() -> u64` — task invoking the hook.
+    Pid = 7,
+    /// `prandom() -> u64` — environment-seeded pseudo-randomness.
+    Prandom = 8,
+    /// `trace_printk(buf_ptr, len) -> len` — append bytes to the trace.
+    TracePrintk = 9,
+    /// `task_priority(tid) -> i64` — scheduler priority of a task.
+    TaskPriority = 10,
+    /// `cpu_to_node(cpu) -> u32` — topology query.
+    CpuToNode = 11,
+    /// `cpu_online(cpu) -> 0|1` — scheduler context: is the vCPU running?
+    /// (the §3.1.1 double-scheduling channel: the hypervisor exposes vCPU
+    /// scheduling information to the shuffler).
+    CpuOnline = 12,
+}
+
+impl HelperId {
+    /// Looks an id up from the `call` immediate.
+    pub fn from_u32(v: u32) -> Option<HelperId> {
+        HELPERS.iter().find(|h| h.id as u32 == v).map(|h| h.id)
+    }
+
+    /// Looks an id up from its assembler name.
+    pub fn from_name(name: &str) -> Option<HelperId> {
+        HELPERS.iter().find(|h| h.name == name).map(|h| h.id)
+    }
+
+    /// Assembler name.
+    pub fn name(self) -> &'static str {
+        HELPERS
+            .iter()
+            .find(|h| h.id == self)
+            .map(|h| h.name)
+            .unwrap_or("?")
+    }
+
+    /// Signature for the verifier.
+    pub fn sig(self) -> &'static HelperSig {
+        HELPERS
+            .iter()
+            .find(|h| h.id == self)
+            .expect("all ids in table")
+    }
+}
+
+/// Argument type expected by a helper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArgSpec {
+    /// Any initialized scalar.
+    Scalar,
+    /// A map reference produced by `ldmap`.
+    MapRef,
+    /// Pointer to initialized stack bytes of the referenced map's key size;
+    /// the map is the helper's first argument.
+    MapKeyPtr,
+    /// Pointer to initialized stack bytes of the referenced map's value
+    /// size; the map is the helper's first argument.
+    MapValuePtr,
+    /// Pointer to initialized stack bytes whose length is given by the next
+    /// argument (which must be a known constant).
+    StackBufWithLen,
+}
+
+/// Return type of a helper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetSpec {
+    /// An ordinary scalar.
+    Scalar,
+    /// Pointer to the first argument map's value, or null — must be
+    /// null-checked before dereferencing.
+    MapValueOrNull,
+}
+
+/// Verifier-facing signature of a helper.
+#[derive(Debug)]
+pub struct HelperSig {
+    /// Stable id.
+    pub id: HelperId,
+    /// Assembler name.
+    pub name: &'static str,
+    /// Argument specs for `r1..`.
+    pub args: &'static [ArgSpec],
+    /// Return spec for `r0`.
+    pub ret: RetSpec,
+}
+
+/// The helper table.
+pub static HELPERS: &[HelperSig] = &[
+    HelperSig {
+        id: HelperId::MapLookup,
+        name: "map_lookup_elem",
+        args: &[ArgSpec::MapRef, ArgSpec::MapKeyPtr],
+        ret: RetSpec::MapValueOrNull,
+    },
+    HelperSig {
+        id: HelperId::MapUpdate,
+        name: "map_update_elem",
+        args: &[
+            ArgSpec::MapRef,
+            ArgSpec::MapKeyPtr,
+            ArgSpec::MapValuePtr,
+            ArgSpec::Scalar,
+        ],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::MapDelete,
+        name: "map_delete_elem",
+        args: &[ArgSpec::MapRef, ArgSpec::MapKeyPtr],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::KtimeNs,
+        name: "ktime_ns",
+        args: &[],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::CpuId,
+        name: "cpu_id",
+        args: &[],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::NumaId,
+        name: "numa_id",
+        args: &[],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::Pid,
+        name: "pid",
+        args: &[],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::Prandom,
+        name: "prandom",
+        args: &[],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::TracePrintk,
+        name: "trace_printk",
+        args: &[ArgSpec::StackBufWithLen, ArgSpec::Scalar],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::TaskPriority,
+        name: "task_priority",
+        args: &[ArgSpec::Scalar],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::CpuToNode,
+        name: "cpu_to_node",
+        args: &[ArgSpec::Scalar],
+        ret: RetSpec::Scalar,
+    },
+    HelperSig {
+        id: HelperId::CpuOnline,
+        name: "cpu_online",
+        args: &[ArgSpec::Scalar],
+        ret: RetSpec::Scalar,
+    },
+];
+
+/// Execution environment a policy runs against.
+///
+/// Implementations exist for the real machine (Concord's hook sites) and
+/// for the `ksim` virtual machine, plus [`FixedEnv`] for tests.
+pub trait PolicyEnv {
+    /// CPU executing the hook.
+    fn cpu_id(&self) -> u32;
+    /// NUMA node of that CPU.
+    fn numa_id(&self) -> u32;
+    /// Monotonic time in nanoseconds.
+    fn ktime_ns(&self) -> u64;
+    /// Task invoking the hook.
+    fn pid(&self) -> u64;
+    /// Seeded pseudo-randomness (0 is a valid implementation).
+    fn prandom(&self) -> u64 {
+        0
+    }
+    /// Scheduler priority of `tid` (higher = more important here).
+    fn task_priority(&self, _tid: u64) -> i64 {
+        0
+    }
+    /// Socket of `cpu`.
+    fn cpu_to_node(&self, cpu: u32) -> u32 {
+        let _ = cpu;
+        0
+    }
+    /// Whether `cpu` is currently scheduled (vCPU running); bare metal
+    /// is always online.
+    fn cpu_online(&self, _cpu: u32) -> bool {
+        true
+    }
+    /// Receives `trace_printk` bytes.
+    fn trace(&self, _bytes: &[u8]) {}
+}
+
+/// A [`PolicyEnv`] with fixed values, for tests and documentation.
+///
+/// # Examples
+///
+/// ```
+/// use cbpf::helpers::{FixedEnv, PolicyEnv};
+///
+/// let env = FixedEnv::new().cpu(3).numa(1).time(99).with_pid(42);
+/// assert_eq!(env.cpu_id(), 3);
+/// assert_eq!(env.ktime_ns(), 99);
+/// ```
+#[derive(Default)]
+pub struct FixedEnv {
+    cpu: u32,
+    numa: u32,
+    time: u64,
+    pid: u64,
+    random: u64,
+    priorities: Vec<(u64, i64)>,
+    cores_per_node: u32,
+    traces: Arc<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl FixedEnv {
+    /// Creates an all-zero environment.
+    pub fn new() -> Self {
+        FixedEnv {
+            cores_per_node: 10,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the CPU id.
+    pub fn cpu(mut self, v: u32) -> Self {
+        self.cpu = v;
+        self
+    }
+
+    /// Sets the NUMA node id.
+    pub fn numa(mut self, v: u32) -> Self {
+        self.numa = v;
+        self
+    }
+
+    /// Sets the clock.
+    pub fn time(mut self, v: u64) -> Self {
+        self.time = v;
+        self
+    }
+
+    /// Sets the task id.
+    pub fn with_pid(mut self, v: u64) -> Self {
+        self.pid = v;
+        self
+    }
+
+    /// Sets the value `prandom` returns.
+    pub fn random(mut self, v: u64) -> Self {
+        self.random = v;
+        self
+    }
+
+    /// Registers a task priority.
+    pub fn priority(mut self, tid: u64, prio: i64) -> Self {
+        self.priorities.push((tid, prio));
+        self
+    }
+
+    /// Sets the cores-per-node divisor used by `cpu_to_node`.
+    pub fn cores_per_node(mut self, v: u32) -> Self {
+        assert!(v > 0);
+        self.cores_per_node = v;
+        self
+    }
+
+    /// Bytes captured from `trace_printk` calls.
+    pub fn traces(&self) -> Vec<Vec<u8>> {
+        self.traces.lock().clone()
+    }
+}
+
+impl PolicyEnv for FixedEnv {
+    fn cpu_id(&self) -> u32 {
+        self.cpu
+    }
+
+    fn numa_id(&self) -> u32 {
+        self.numa
+    }
+
+    fn ktime_ns(&self) -> u64 {
+        self.time
+    }
+
+    fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    fn prandom(&self) -> u64 {
+        self.random
+    }
+
+    fn task_priority(&self, tid: u64) -> i64 {
+        self.priorities
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, p)| *p)
+            .unwrap_or(0)
+    }
+
+    fn cpu_to_node(&self, cpu: u32) -> u32 {
+        cpu / self.cores_per_node
+    }
+
+    fn trace(&self, bytes: &[u8]) {
+        self.traces.lock().push(bytes.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_names_and_codes() {
+        for h in HELPERS {
+            assert_eq!(HelperId::from_u32(h.id as u32), Some(h.id));
+            assert_eq!(HelperId::from_name(h.name), Some(h.id));
+            assert_eq!(h.id.name(), h.name);
+            assert_eq!(h.id.sig().id, h.id);
+        }
+        assert_eq!(HelperId::from_u32(0), None);
+        assert_eq!(HelperId::from_u32(999), None);
+        assert_eq!(HelperId::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn map_helpers_take_map_first() {
+        for id in [
+            HelperId::MapLookup,
+            HelperId::MapUpdate,
+            HelperId::MapDelete,
+        ] {
+            assert_eq!(id.sig().args[0], ArgSpec::MapRef);
+        }
+        assert_eq!(HelperId::MapLookup.sig().ret, RetSpec::MapValueOrNull);
+    }
+
+    #[test]
+    fn fixed_env_reports_configured_values() {
+        let env = FixedEnv::new()
+            .cpu(12)
+            .numa(3)
+            .time(1000)
+            .with_pid(77)
+            .random(5)
+            .priority(77, -2)
+            .cores_per_node(4);
+        assert_eq!(env.cpu_id(), 12);
+        assert_eq!(env.numa_id(), 3);
+        assert_eq!(env.ktime_ns(), 1000);
+        assert_eq!(env.pid(), 77);
+        assert_eq!(env.prandom(), 5);
+        assert_eq!(env.task_priority(77), -2);
+        assert_eq!(env.task_priority(1), 0);
+        assert_eq!(env.cpu_to_node(9), 2);
+        env.trace(b"hello");
+        assert_eq!(env.traces(), vec![b"hello".to_vec()]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Policy maps: the shared state channel between userspace and policies.
+//!
+//! The paper relies on eBPF "map data structures to store information at
+//! runtime" (§4.2) — e.g. a priority map keyed by task id, or per-CPU
+//! critical-section statistics. Three kinds are provided, mirroring the
+//! kernel types Concord uses: `Array`, `Hash` and `PerCpuArray`.
+//!
+//! Values are reference-counted and individually locked, so a running
+//! policy holds a handle to the exact value object it looked up — a deleted
+//! entry stays alive until the program finishes, the same grace-period
+//! discipline RCU gives kernel eBPF.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Kinds of maps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapKind {
+    /// Fixed-size array keyed by a little-endian `u32` index; all entries
+    /// exist from creation, zero-initialized.
+    Array,
+    /// Hash map with arbitrary fixed-size keys; entries are created by
+    /// update and removed by delete.
+    Hash,
+    /// Per-CPU array: like `Array`, but lookups resolve to the invoking
+    /// CPU's copy, so hot-path updates never contend.
+    PerCpuArray,
+}
+
+/// Static shape of a map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapDef {
+    /// Name (used by the assembler and the object store).
+    pub name: String,
+    /// Kind.
+    pub kind: MapKind,
+    /// Key size in bytes (must be 4 for array kinds).
+    pub key_size: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Maximum number of entries (array length for array kinds).
+    pub max_entries: usize,
+}
+
+/// A shared value cell.
+pub type ValueCell = Arc<Mutex<Box<[u8]>>>;
+
+enum Inner {
+    Array(Vec<ValueCell>),
+    Hash(Mutex<HashMap<Vec<u8>, ValueCell>>),
+    PerCpu { ncpu: usize, slots: Vec<ValueCell> },
+}
+
+/// A policy map instance.
+///
+/// # Examples
+///
+/// ```
+/// use cbpf::map::{Map, MapDef, MapKind};
+///
+/// let m = Map::new(MapDef {
+///     name: "prio".into(),
+///     kind: MapKind::Hash,
+///     key_size: 8,
+///     value_size: 8,
+///     max_entries: 128,
+/// });
+/// m.update(&42u64.to_le_bytes(), &7u64.to_le_bytes(), 0).unwrap();
+/// assert_eq!(m.lookup_copy(&42u64.to_le_bytes(), 0), Some(7u64.to_le_bytes().to_vec()));
+/// ```
+pub struct Map {
+    def: MapDef,
+    inner: Inner,
+}
+
+fn zero_value(size: usize) -> ValueCell {
+    Arc::new(Mutex::new(vec![0u8; size].into_boxed_slice()))
+}
+
+impl Map {
+    /// Creates a map; per-CPU maps size their slots for 128 CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized key/value, zero `max_entries`, or an array
+    /// kind whose key size is not 4.
+    pub fn new(def: MapDef) -> Self {
+        Map::with_cpus(def, 128)
+    }
+
+    /// Creates a map with an explicit CPU count for per-CPU kinds.
+    ///
+    /// # Panics
+    ///
+    /// See [`Map::new`].
+    pub fn with_cpus(def: MapDef, ncpu: usize) -> Self {
+        assert!(def.key_size > 0, "map `{}`: zero key size", def.name);
+        assert!(def.value_size > 0, "map `{}`: zero value size", def.name);
+        assert!(def.max_entries > 0, "map `{}`: zero max_entries", def.name);
+        let inner = match def.kind {
+            MapKind::Array => {
+                assert_eq!(def.key_size, 4, "array maps use a 4-byte index key");
+                Inner::Array(
+                    (0..def.max_entries)
+                        .map(|_| zero_value(def.value_size))
+                        .collect(),
+                )
+            }
+            MapKind::Hash => Inner::Hash(Mutex::new(HashMap::new())),
+            MapKind::PerCpuArray => {
+                assert_eq!(def.key_size, 4, "per-cpu array maps use a 4-byte index key");
+                assert!(ncpu > 0, "per-cpu map needs at least one cpu");
+                Inner::PerCpu {
+                    ncpu,
+                    slots: (0..def.max_entries * ncpu)
+                        .map(|_| zero_value(def.value_size))
+                        .collect(),
+                }
+            }
+        };
+        Map { def, inner }
+    }
+
+    /// The map's definition.
+    pub fn def(&self) -> &MapDef {
+        &self.def
+    }
+
+    fn array_index(&self, key: &[u8]) -> Option<usize> {
+        if key.len() != 4 {
+            return None;
+        }
+        let idx = u32::from_le_bytes([key[0], key[1], key[2], key[3]]) as usize;
+        (idx < self.def.max_entries).then_some(idx)
+    }
+
+    /// Looks up the value cell for `key`; `cpu` selects the copy for
+    /// per-CPU maps. Returns `None` on a missing hash entry or an
+    /// out-of-range array index.
+    pub fn lookup(&self, key: &[u8], cpu: u32) -> Option<ValueCell> {
+        if key.len() != self.def.key_size {
+            return None;
+        }
+        match &self.inner {
+            Inner::Array(v) => self.array_index(key).map(|i| Arc::clone(&v[i])),
+            Inner::Hash(h) => h.lock().get(key).cloned(),
+            Inner::PerCpu { ncpu, slots } => {
+                let i = self.array_index(key)?;
+                let c = (cpu as usize) % ncpu;
+                Some(Arc::clone(&slots[i * ncpu + c]))
+            }
+        }
+    }
+
+    /// Convenience: copies the value out (host-side reads).
+    pub fn lookup_copy(&self, key: &[u8], cpu: u32) -> Option<Vec<u8>> {
+        self.lookup(key, cpu).map(|c| c.lock().to_vec())
+    }
+
+    /// Inserts or overwrites the value for `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` on a size mismatch, an out-of-range array index, or a
+    /// full hash map.
+    pub fn update(&self, key: &[u8], value: &[u8], cpu: u32) -> Result<(), &'static str> {
+        if key.len() != self.def.key_size {
+            return Err("key size mismatch");
+        }
+        if value.len() != self.def.value_size {
+            return Err("value size mismatch");
+        }
+        match &self.inner {
+            Inner::Array(_) | Inner::PerCpu { .. } => {
+                let cell = self.lookup(key, cpu).ok_or("index out of range")?;
+                cell.lock().copy_from_slice(value);
+                Ok(())
+            }
+            Inner::Hash(h) => {
+                let mut h = h.lock();
+                if let Some(cell) = h.get(key) {
+                    cell.lock().copy_from_slice(value);
+                    return Ok(());
+                }
+                if h.len() >= self.def.max_entries {
+                    return Err("map full");
+                }
+                h.insert(
+                    key.to_vec(),
+                    Arc::new(Mutex::new(value.to_vec().into_boxed_slice())),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes `key` (hash maps only).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for array kinds or a missing key.
+    pub fn delete(&self, key: &[u8]) -> Result<(), &'static str> {
+        match &self.inner {
+            Inner::Hash(h) => {
+                if h.lock().remove(key).is_some() {
+                    Ok(())
+                } else {
+                    Err("no such key")
+                }
+            }
+            _ => Err("delete on array map"),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Array(v) => v.len(),
+            Inner::Hash(h) => h.lock().len(),
+            Inner::PerCpu { .. } => self.def.max_entries,
+        }
+    }
+
+    /// True when a hash map has no entries (array kinds are never empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all keys (host-side introspection).
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        match &self.inner {
+            Inner::Array(v) => (0..v.len() as u32)
+                .map(|i| i.to_le_bytes().to_vec())
+                .collect(),
+            Inner::Hash(h) => h.lock().keys().cloned().collect(),
+            Inner::PerCpu { .. } => (0..self.def.max_entries as u32)
+                .map(|i| i.to_le_bytes().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Sums the first 8 bytes of every per-CPU copy of `key` (the usual way
+    /// per-CPU counters are read out).
+    pub fn percpu_sum(&self, key: &[u8]) -> u64 {
+        match &self.inner {
+            Inner::PerCpu { ncpu, slots } => {
+                let Some(i) = self.array_index(key) else {
+                    return 0;
+                };
+                (0..*ncpu)
+                    .map(|c| {
+                        let v = slots[i * ncpu + c].lock();
+                        let mut b = [0u8; 8];
+                        let n = v.len().min(8);
+                        b[..n].copy_from_slice(&v[..n]);
+                        u64::from_le_bytes(b)
+                    })
+                    .sum()
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_map() -> Map {
+        Map::new(MapDef {
+            name: "h".into(),
+            kind: MapKind::Hash,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 2,
+        })
+    }
+
+    #[test]
+    fn array_map_prezeroed_and_updatable() {
+        let m = Map::new(MapDef {
+            name: "a".into(),
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 4,
+        });
+        let k = 2u32.to_le_bytes();
+        assert_eq!(m.lookup_copy(&k, 0), Some(vec![0; 8]));
+        m.update(&k, &9u64.to_le_bytes(), 0).unwrap();
+        assert_eq!(m.lookup_copy(&k, 0), Some(9u64.to_le_bytes().to_vec()));
+        assert_eq!(m.lookup_copy(&9u32.to_le_bytes(), 0), None);
+    }
+
+    #[test]
+    fn hash_map_insert_overwrite_delete() {
+        let m = hash_map();
+        let k = 1u32.to_le_bytes();
+        assert_eq!(m.lookup_copy(&k, 0), None);
+        m.update(&k, &5u64.to_le_bytes(), 0).unwrap();
+        m.update(&k, &6u64.to_le_bytes(), 0).unwrap();
+        assert_eq!(m.lookup_copy(&k, 0), Some(6u64.to_le_bytes().to_vec()));
+        m.delete(&k).unwrap();
+        assert_eq!(m.lookup_copy(&k, 0), None);
+        assert!(m.delete(&k).is_err());
+    }
+
+    #[test]
+    fn hash_map_capacity_enforced() {
+        let m = hash_map();
+        m.update(&1u32.to_le_bytes(), &[0; 8], 0).unwrap();
+        m.update(&2u32.to_le_bytes(), &[0; 8], 0).unwrap();
+        assert_eq!(m.update(&3u32.to_le_bytes(), &[0; 8], 0), Err("map full"));
+        // Overwriting an existing key still works at capacity.
+        m.update(&1u32.to_le_bytes(), &[1; 8], 0).unwrap();
+    }
+
+    #[test]
+    fn size_mismatches_rejected() {
+        let m = hash_map();
+        assert!(m.update(&[0; 3], &[0; 8], 0).is_err());
+        assert!(m.update(&[0; 4], &[0; 7], 0).is_err());
+        assert!(m.lookup(&[0; 3], 0).is_none());
+    }
+
+    #[test]
+    fn percpu_map_isolates_cpus_and_sums() {
+        let m = Map::with_cpus(
+            MapDef {
+                name: "p".into(),
+                kind: MapKind::PerCpuArray,
+                key_size: 4,
+                value_size: 8,
+                max_entries: 1,
+            },
+            4,
+        );
+        let k = 0u32.to_le_bytes();
+        for cpu in 0..4u32 {
+            m.update(&k, &u64::from(cpu + 1).to_le_bytes(), cpu)
+                .unwrap();
+        }
+        for cpu in 0..4u32 {
+            assert_eq!(
+                m.lookup_copy(&k, cpu),
+                Some(u64::from(cpu + 1).to_le_bytes().to_vec())
+            );
+        }
+        assert_eq!(m.percpu_sum(&k), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn deleted_value_stays_alive_for_holders() {
+        let m = hash_map();
+        let k = 7u32.to_le_bytes();
+        m.update(&k, &1u64.to_le_bytes(), 0).unwrap();
+        let cell = m.lookup(&k, 0).unwrap();
+        m.delete(&k).unwrap();
+        // The held cell is still readable (RCU-like grace).
+        assert_eq!(&cell.lock()[..], &1u64.to_le_bytes());
+    }
+
+    #[test]
+    fn keys_snapshot() {
+        let m = hash_map();
+        m.update(&1u32.to_le_bytes(), &[0; 8], 0).unwrap();
+        m.update(&2u32.to_le_bytes(), &[0; 8], 0).unwrap();
+        let mut keys = m.keys();
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![1u32.to_le_bytes().to_vec(), 2u32.to_le_bytes().to_vec()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "4-byte index")]
+    fn array_map_requires_u32_key() {
+        Map::new(MapDef {
+            name: "bad".into(),
+            kind: MapKind::Array,
+            key_size: 8,
+            value_size: 8,
+            max_entries: 1,
+        });
+    }
+}

@@ -1,0 +1,214 @@
+//! In-memory object store — the analog of the BPF filesystem.
+//!
+//! Step 5 of the Concord workflow (Fig. 1) stores the compiled, verified
+//! policy "in the file system" so it can be attached later and survive the
+//! attaching process. This store pins verified programs and maps under
+//! hierarchical paths (`"locks/mmap_sem/cmp_node"`).
+//!
+//! Only verified programs can be pinned: [`ObjectStore::pin_program`] takes
+//! a [`VerifiedProgram`] token, which is only produced by
+//! [`VerifiedProgram::new`] running the verifier.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::ctx::CtxLayout;
+use crate::error::VerifyError;
+use crate::map::Map;
+use crate::program::Program;
+use crate::verifier::{verify_with_rules, HookRules};
+
+/// A program that has passed verification against a specific layout and
+/// hook rules; the only currency [`ObjectStore`] accepts.
+#[derive(Clone)]
+pub struct VerifiedProgram {
+    prog: Arc<Program>,
+    layout: CtxLayout,
+}
+
+impl VerifiedProgram {
+    /// Verifies `prog` and wraps it on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the verifier's rejection.
+    pub fn new(prog: Program, layout: &CtxLayout, rules: &HookRules) -> Result<Self, VerifyError> {
+        verify_with_rules(&prog, layout, rules)?;
+        Ok(VerifiedProgram {
+            prog: Arc::new(prog),
+            layout: layout.clone(),
+        })
+    }
+
+    /// The verified program.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.prog
+    }
+
+    /// The layout the program was verified against.
+    pub fn layout(&self) -> &CtxLayout {
+        &self.layout
+    }
+}
+
+impl std::fmt::Debug for VerifiedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedProgram")
+            .field("name", &self.prog.name())
+            .finish()
+    }
+}
+
+/// Pinned-object namespace for verified programs and maps.
+#[derive(Default)]
+pub struct ObjectStore {
+    programs: RwLock<BTreeMap<String, VerifiedProgram>>,
+    maps: RwLock<BTreeMap<String, Arc<Map>>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Pins a verified program at `path`, replacing any previous object.
+    pub fn pin_program(&self, path: &str, prog: VerifiedProgram) {
+        self.programs.write().insert(path.to_string(), prog);
+    }
+
+    /// Fetches a pinned program.
+    pub fn get_program(&self, path: &str) -> Option<VerifiedProgram> {
+        self.programs.read().get(path).cloned()
+    }
+
+    /// Removes a pinned program; returns it if present.
+    pub fn unlink_program(&self, path: &str) -> Option<VerifiedProgram> {
+        self.programs.write().remove(path)
+    }
+
+    /// Pins a map at `path`.
+    pub fn pin_map(&self, path: &str, map: Arc<Map>) {
+        self.maps.write().insert(path.to_string(), map);
+    }
+
+    /// Fetches a pinned map.
+    pub fn get_map(&self, path: &str) -> Option<Arc<Map>> {
+        self.maps.read().get(path).cloned()
+    }
+
+    /// Removes a pinned map; returns it if present.
+    pub fn unlink_map(&self, path: &str) -> Option<Arc<Map>> {
+        self.maps.write().remove(path)
+    }
+
+    /// Program paths under `prefix`, sorted.
+    pub fn list_programs(&self, prefix: &str) -> Vec<String> {
+        self.programs
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Map paths under `prefix`, sorted.
+    pub fn list_maps(&self, prefix: &str) -> Vec<String> {
+        self.maps
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Reg;
+    use crate::map::{MapDef, MapKind};
+    use crate::program::ProgramBuilder;
+
+    fn verified() -> VerifiedProgram {
+        let mut b = ProgramBuilder::new("p");
+        b.mov_imm(Reg::R0, 0);
+        b.exit();
+        VerifiedProgram::new(
+            b.build().unwrap(),
+            &CtxLayout::empty(),
+            &HookRules::permissive(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn only_verified_programs_can_exist() {
+        let bad = Program::new("bad", vec![], vec![]);
+        assert!(matches!(
+            VerifiedProgram::new(bad, &CtxLayout::empty(), &HookRules::permissive()),
+            Err(VerifyError::BadProgramSize { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_get_unlink_program() {
+        let store = ObjectStore::new();
+        store.pin_program("locks/mmap_sem/cmp_node", verified());
+        assert!(store.get_program("locks/mmap_sem/cmp_node").is_some());
+        assert!(store.get_program("locks/other").is_none());
+        assert!(store.unlink_program("locks/mmap_sem/cmp_node").is_some());
+        assert!(store.get_program("locks/mmap_sem/cmp_node").is_none());
+        assert!(store.unlink_program("locks/mmap_sem/cmp_node").is_none());
+    }
+
+    #[test]
+    fn list_by_prefix_sorted() {
+        let store = ObjectStore::new();
+        store.pin_program("locks/b", verified());
+        store.pin_program("locks/a", verified());
+        store.pin_program("profile/x", verified());
+        assert_eq!(store.list_programs("locks/"), vec!["locks/a", "locks/b"]);
+        assert_eq!(
+            store.list_programs(""),
+            vec!["locks/a", "locks/b", "profile/x"]
+        );
+    }
+
+    #[test]
+    fn maps_pin_roundtrip() {
+        let store = ObjectStore::new();
+        let m = Arc::new(Map::new(MapDef {
+            name: "m".into(),
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 1,
+        }));
+        store.pin_map("maps/m", Arc::clone(&m));
+        let got = store.get_map("maps/m").unwrap();
+        assert_eq!(got.def().name, "m");
+        assert_eq!(store.list_maps("maps/"), vec!["maps/m"]);
+        assert!(store.unlink_map("maps/m").is_some());
+        assert!(store.get_map("maps/m").is_none());
+    }
+
+    #[test]
+    fn pin_replaces_previous() {
+        let store = ObjectStore::new();
+        store.pin_program("x", verified());
+        let mut b = ProgramBuilder::new("second");
+        b.mov_imm(Reg::R0, 1);
+        b.exit();
+        let v2 = VerifiedProgram::new(
+            b.build().unwrap(),
+            &CtxLayout::empty(),
+            &HookRules::permissive(),
+        )
+        .unwrap();
+        store.pin_program("x", v2);
+        assert_eq!(store.get_program("x").unwrap().program().name(), "second");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the C-style policy frontend.
+//!
+//! The central property mirrors the verifier-soundness one: any program
+//! the compiler emits must pass the verifier, and then run without
+//! faulting — for arbitrary generated sources and context contents. A
+//! second property checks the compiler against a direct AST evaluator.
+
+use cbpf::ctx::{CtxLayout, FieldAccess};
+use cbpf::dsl::compile;
+use cbpf::helpers::FixedEnv;
+use cbpf::interp::run_program;
+use cbpf::verifier::verify;
+use proptest::prelude::*;
+
+fn layout() -> CtxLayout {
+    CtxLayout::builder()
+        .field("a", 8, FieldAccess::ReadOnly)
+        .field("b", 4, FieldAccess::ReadOnly)
+        .field("c", 8, FieldAccess::ReadOnly)
+        .build()
+}
+
+/// A miniature expression AST we can both print as source and evaluate.
+#[derive(Clone, Debug)]
+enum E {
+    Num(u32),
+    Field(&'static str),
+    Cpu,
+    Un(&'static str, Box<E>),
+    Bin(&'static str, Box<E>, Box<E>),
+}
+
+fn to_src(e: &E) -> String {
+    match e {
+        E::Num(v) => v.to_string(),
+        E::Field(f) => f.to_string(),
+        E::Cpu => "cpu_id()".to_string(),
+        E::Un(op, x) => format!("{op}({})", to_src(x)),
+        E::Bin(op, l, r) => format!("({} {op} {})", to_src(l), to_src(r)),
+    }
+}
+
+// The explicit zero branches mirror the documented eBPF semantics.
+#[allow(unknown_lints, clippy::manual_checked_ops)]
+fn eval(e: &E, a: u64, b: u32, c: u64, cpu: u32) -> u64 {
+    let norm = |b: bool| u64::from(b);
+    match e {
+        E::Num(v) => u64::from(*v),
+        E::Field("a") => a,
+        E::Field("b") => u64::from(b),
+        E::Field(_) => c,
+        E::Cpu => u64::from(cpu),
+        E::Un("-", x) => (eval(x, a, b, c, cpu) as i64).wrapping_neg() as u64,
+        E::Un("~", x) => !eval(x, a, b, c, cpu),
+        E::Un(_, x) => norm(eval(x, a, b, c, cpu) == 0), // "!"
+        E::Bin(op, l, r) => {
+            let (x, y) = (eval(l, a, b, c, cpu), eval(r, a, b, c, cpu));
+            match *op {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "/" => {
+                    if y == 0 {
+                        0
+                    } else {
+                        x / y
+                    }
+                }
+                "%" => {
+                    if y == 0 {
+                        x
+                    } else {
+                        x % y
+                    }
+                }
+                "&" => x & y,
+                "|" => x | y,
+                "^" => x ^ y,
+                "<<" => x.wrapping_shl(y as u32 & 63),
+                ">>" => x.wrapping_shr(y as u32 & 63),
+                "==" => norm(x == y),
+                "!=" => norm(x != y),
+                "<" => norm((x as i64) < (y as i64)),
+                "<=" => norm((x as i64) <= (y as i64)),
+                ">" => norm((x as i64) > (y as i64)),
+                ">=" => norm((x as i64) >= (y as i64)),
+                "&&" => norm(x != 0 && y != 0),
+                "||" => norm(x != 0 || y != 0),
+                other => unreachable!("op {other}"),
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0u32..1000).prop_map(E::Num),
+        proptest::sample::select(vec!["a", "b", "c"]).prop_map(E::Field),
+        Just(E::Cpu),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (proptest::sample::select(vec!["-", "~", "!"]), inner.clone())
+                .prop_map(|(op, x)| E::Un(op, Box::new(x))),
+            (
+                proptest::sample::select(vec![
+                    "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">",
+                    ">=", "&&", "||",
+                ]),
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(768))]
+
+    /// Compile → verify → run never faults, and the result matches a
+    /// direct evaluation of the AST.
+    #[test]
+    fn compiled_matches_reference(
+        e in expr_strategy(),
+        a in any::<u64>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        cpu in 0u32..128,
+    ) {
+        let l = layout();
+        let src = format!("return {};", to_src(&e));
+        let prog = compile("fuzz", &src, &l).expect("generated source compiles");
+        // Division by a *constant* zero is a static rejection (the verifier
+        // tracks known values); the runtime semantics only apply to dynamic
+        // zeros. Discard such cases.
+        match verify(&prog, &l) {
+            Ok(()) => {}
+            Err(cbpf::VerifyError::DivByZero { .. }) => return Ok(()),
+            Err(e) => panic!("compiler output failed verification: {e}\nsrc: {src}"),
+        }
+        let mut ctx = vec![0u8; l.size()];
+        l.write(&mut ctx, "a", a);
+        l.write(&mut ctx, "b", u64::from(b));
+        l.write(&mut ctx, "c", c);
+        let env = FixedEnv::new().cpu(cpu);
+        let got = run_program(&prog, &mut ctx, &l, &env).expect("runs without fault");
+        let want = eval(&e, a, b, c, cpu);
+        // Boolean-producing roots are normalized to 0/1 by both sides;
+        // arithmetic roots must match bit-for-bit.
+        prop_assert_eq!(got, want, "src: {}", src);
+    }
+
+    /// Statement-level structures (let/if/else nesting) always verify.
+    #[test]
+    fn statements_always_verify(
+        cond in expr_strategy(),
+        v1 in expr_strategy(),
+        v2 in expr_strategy(),
+    ) {
+        let l = layout();
+        let src = format!(
+            "let x = {}; if ({}) {{ let y = x + 1; return y; }} else {{ return {}; }}",
+            to_src(&v1),
+            to_src(&cond),
+            to_src(&v2),
+        );
+        let prog = compile("fuzz", &src, &l).expect("compiles");
+        match verify(&prog, &l) {
+            Ok(()) => {}
+            Err(cbpf::VerifyError::DivByZero { .. }) => return Ok(()),
+            Err(e) => panic!("verifier: {e}\nsrc: {src}"),
+        }
+        let mut ctx = vec![0u8; l.size()];
+        let env = FixedEnv::new();
+        run_program(&prog, &mut ctx, &l, &env).expect("runs");
+    }
+}

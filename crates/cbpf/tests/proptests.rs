@@ -1,0 +1,277 @@
+//! Property-based tests for the policy engine.
+//!
+//! The central property is verifier *soundness*: any program the verifier
+//! accepts must execute to completion on the (fully dynamically checked)
+//! interpreter without a single runtime fault, for any environment values.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cbpf::asm::{assemble_named, disassemble};
+use cbpf::ctx::{CtxLayout, FieldAccess};
+use cbpf::helpers::{FixedEnv, HelperId};
+use cbpf::insn::{decode, encode, AluOp, Insn, JmpOp, MemSize, Operand, Reg};
+use cbpf::interp::run_program;
+use cbpf::map::{Map, MapDef, MapKind};
+use cbpf::program::Program;
+use cbpf::verifier::verify;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..=10).prop_map(Reg)
+}
+
+fn alu_op_strategy() -> impl Strategy<Value = AluOp> {
+    proptest::sample::select(AluOp::ALL.to_vec())
+}
+
+fn jmp_op_strategy() -> impl Strategy<Value = JmpOp> {
+    proptest::sample::select(JmpOp::ALL.to_vec())
+}
+
+fn mem_size_strategy() -> impl Strategy<Value = MemSize> {
+    proptest::sample::select(vec![MemSize::B, MemSize::H, MemSize::W, MemSize::Dw])
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy().prop_map(Operand::Reg),
+        (-64i32..64).prop_map(Operand::Imm),
+    ]
+}
+
+/// Arbitrary instructions, biased toward plausible-but-possibly-invalid
+/// programs: small jump offsets, stack-relative addresses, real helper ids
+/// mixed with bogus ones.
+fn insn_strategy() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (
+            any::<bool>(),
+            alu_op_strategy(),
+            reg_strategy(),
+            operand_strategy()
+        )
+            .prop_map(|(wide, op, dst, src)| Insn::Alu {
+                wide,
+                op,
+                dst,
+                // `neg` is unary; its canonical encoding carries Imm(0).
+                src: if op == AluOp::Neg {
+                    Operand::Imm(0)
+                } else {
+                    src
+                },
+            }),
+        (reg_strategy(), any::<u64>()).prop_map(|(dst, imm)| Insn::LdImm64 { dst, imm }),
+        (
+            mem_size_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            (-72i16..16)
+        )
+            .prop_map(|(size, dst, base, off)| Insn::Load {
+                size,
+                dst,
+                base,
+                off
+            }),
+        (
+            mem_size_strategy(),
+            reg_strategy(),
+            (-72i16..16),
+            operand_strategy()
+        )
+            .prop_map(|(size, base, off, src)| Insn::Store {
+                size,
+                base,
+                off,
+                src
+            }),
+        (-4i16..8).prop_map(|off| Insn::Ja { off }),
+        (
+            jmp_op_strategy(),
+            reg_strategy(),
+            operand_strategy(),
+            (-4i16..8)
+        )
+            .prop_map(|(op, dst, src, off)| Insn::Jmp { op, dst, src, off }),
+        prop_oneof![Just(4u32), Just(5), Just(6), Just(7), Just(8), Just(999)]
+            .prop_map(|helper| Insn::Call { helper }),
+        Just(Insn::Exit),
+    ]
+}
+
+/// Clamps jump targets into `[0, len]` so encoding and disassembly are
+/// well-defined (out-of-bounds jumps are the verifier's job to reject).
+fn clamp_jumps(insns: Vec<Insn>) -> Vec<Insn> {
+    let len = insns.len();
+    insns
+        .into_iter()
+        .enumerate()
+        .map(|(pc, i)| match i {
+            Insn::Ja { off } => {
+                let t = (pc as i64 + 1 + i64::from(off)).clamp(0, len as i64);
+                Insn::Ja {
+                    off: (t - pc as i64 - 1) as i16,
+                }
+            }
+            Insn::Jmp { op, dst, src, off } => {
+                let t = (pc as i64 + 1 + i64::from(off)).clamp(0, len as i64);
+                Insn::Jmp {
+                    op,
+                    dst,
+                    src,
+                    off: (t - pc as i64 - 1) as i16,
+                }
+            }
+            other => other,
+        })
+        .collect()
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(insn_strategy(), 1..24).prop_map(|mut insns| {
+        // Give random programs a fighting chance: initialize r0 first and
+        // guarantee a final exit.
+        insns.insert(
+            0,
+            Insn::Alu {
+                wide: true,
+                op: AluOp::Mov,
+                dst: Reg::R0,
+                src: Operand::Imm(0),
+            },
+        );
+        insns.push(Insn::Exit);
+        Program::new("fuzz", clamp_jumps(insns), Vec::new())
+    })
+}
+
+fn test_layout() -> CtxLayout {
+    CtxLayout::builder()
+        .field("a", 8, FieldAccess::ReadOnly)
+        .field("b", 4, FieldAccess::ReadOnly)
+        .field("out", 8, FieldAccess::ReadWrite)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Soundness: accepted ⇒ runs without any fault, under arbitrary
+    /// environment values and context contents.
+    #[test]
+    fn verified_programs_never_fault(
+        prog in program_strategy(),
+        cpu in 0u32..128,
+        numa in 0u32..8,
+        time in any::<u64>(),
+        pid in any::<u64>(),
+        ctx_seed in any::<u64>(),
+    ) {
+        let layout = test_layout();
+        if verify(&prog, &layout).is_ok() {
+            let mut ctx = vec![0u8; layout.size()];
+            for (i, b) in ctx.iter_mut().enumerate() {
+                *b = (ctx_seed.rotate_left((i as u32 * 7) % 63) & 0xff) as u8;
+            }
+            let env = FixedEnv::new().cpu(cpu).numa(numa).time(time).with_pid(pid);
+            let res = run_program(&prog, &mut ctx, &layout, &env);
+            prop_assert!(res.is_ok(), "verified program faulted: {:?}", res);
+        }
+    }
+
+    /// Soundness with maps in play: lookups, updates, null checks.
+    #[test]
+    fn verified_map_programs_never_fault(
+        body in proptest::collection::vec(insn_strategy(), 1..16),
+        key in 0i32..4,
+    ) {
+        let map = Arc::new(Map::new(MapDef {
+            name: "m".into(),
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 2,
+        }));
+        // A valid lookup prologue, then fuzz the continuation.
+        let mut insns = vec![
+            Insn::LdMapRef { dst: Reg::R1, map_id: 0 },
+            Insn::Store { size: MemSize::W, base: Reg::R10, off: -4, src: Operand::Imm(key) },
+            Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R2, src: Operand::Reg(Reg::R10) },
+            Insn::Alu { wide: true, op: AluOp::Add, dst: Reg::R2, src: Operand::Imm(-4) },
+            Insn::Call { helper: HelperId::MapLookup as u32 },
+        ];
+        insns.extend(body);
+        insns.push(Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R0, src: Operand::Imm(0) });
+        insns.push(Insn::Exit);
+        let prog = Program::new("fuzzmap", insns, vec![map]);
+        if verify(&prog, &CtxLayout::empty()).is_ok() {
+            let env = FixedEnv::new();
+            let res = run_program(&prog, &mut [], &CtxLayout::empty(), &env);
+            prop_assert!(res.is_ok(), "verified map program faulted: {:?}", res);
+        }
+    }
+
+    /// Binary encode/decode is lossless for any instruction sequence whose
+    /// jumps stay inside the program.
+    #[test]
+    fn encode_decode_roundtrip(insns in proptest::collection::vec(insn_strategy(), 1..32)) {
+        // Clamp jump offsets to stay inside the program so `encode` does not
+        // panic (the verifier owns out-of-bounds detection).
+        let clamped = clamp_jumps(insns);
+        let raw = encode(&clamped);
+        let back = decode(&raw).expect("decode of encoded program");
+        prop_assert_eq!(clamped, back);
+    }
+
+    /// The assembler parses everything the disassembler prints.
+    #[test]
+    fn disassemble_assemble_roundtrip(prog in program_strategy()) {
+        let text = disassemble(&prog);
+        let back = assemble_named("fuzz", &text, &[]).expect("reassemble");
+        prop_assert_eq!(prog.insns(), back.insns());
+    }
+
+    /// Hash maps behave like a bounded std::HashMap.
+    #[test]
+    fn hash_map_matches_model(ops in proptest::collection::vec(
+        (0u8..3, 0u32..8, any::<u64>()), 1..200)
+    ) {
+        let map = Map::new(MapDef {
+            name: "model".into(),
+            kind: MapKind::Hash,
+            key_size: 4,
+            value_size: 8,
+            max_entries: 4,
+        });
+        let mut model: std::collections::HashMap<u32, u64> = Default::default();
+        for (op, key, val) in ops {
+            let k = key.to_le_bytes();
+            match op {
+                0 => {
+                    let can_insert = model.contains_key(&key) || model.len() < 4;
+                    let res = map.update(&k, &val.to_le_bytes(), 0);
+                    if can_insert {
+                        prop_assert!(res.is_ok());
+                        model.insert(key, val);
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                1 => {
+                    let res = map.delete(&k);
+                    prop_assert_eq!(res.is_ok(), model.remove(&key).is_some());
+                }
+                _ => {
+                    let got = map.lookup_copy(&k, 0).map(|v| {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(&v);
+                        u64::from_le_bytes(b)
+                    });
+                    prop_assert_eq!(got, model.get(&key).copied());
+                }
+            }
+        }
+    }
+}

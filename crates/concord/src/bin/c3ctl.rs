@@ -1,0 +1,329 @@
+//! `c3ctl` — the privileged userspace control plane for Concord.
+//!
+//! The paper's model is "a privileged userspace process \[that\] modif\[ies\]
+//! kernel locks on the fly"; this tool is that process. It hosts a demo
+//! registry of named locks, loads policies from `.c` (restricted C) or
+//! `.s` (assembly) files, attaches and reverts them while worker threads
+//! hammer the locks, and drives the dynamic profiler.
+//!
+//!     cargo run --release -p concord --bin c3ctl            # interactive
+//!     cargo run --release -p concord --bin c3ctl script.c3  # scripted
+//!
+//! Commands:
+//!
+//! ```text
+//! locks                          list registered locks
+//! load <name> <hook> <file>     compile + verify + store a policy
+//! loadsrc <name> <hook> <c-src> one-line C policy, e.g. `return 1;`
+//! attach <lock> <policy>        livepatch a loaded policy into a lock
+//! detach                        revert the most recent patch
+//! patches                       list live patches (bottom → top)
+//! profile <lock> [<lock>…]      start profiling the given locks
+//! report                        print the profiler report
+//! unprofile                     stop profiling
+//! hammer <lock> <threads> <n>   acquire/release n times on each thread
+//! stats <lock>                  shuffle/park statistics
+//! store                         list pinned objects
+//! help | quit
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use concord::profiler::Profiler;
+use concord::{Concord, LoadedPolicy, PolicySpec};
+use locks::hooks::HookKind;
+use locks::{Bravo, NeutralRwLock, RawLock, ShflLock, ShflMutex};
+
+struct Ctl {
+    concord: Concord,
+    shfl: HashMap<String, Arc<ShflLock>>,
+    mutexes: HashMap<String, Arc<ShflMutex>>,
+    loaded: HashMap<String, LoadedPolicy>,
+    patches: Vec<concord::AttachHandle>,
+    profiler: Option<Profiler>,
+}
+
+fn hook_by_name(s: &str) -> Option<HookKind> {
+    HookKind::ALL.into_iter().find(|k| k.name() == s)
+}
+
+impl Ctl {
+    fn new() -> Self {
+        let concord = Concord::new();
+        let mut shfl = HashMap::new();
+        let mut mutexes = HashMap::new();
+        // A demo "kernel": a few named locks, as a registry would hold.
+        for name in ["mmap_sem", "dcache", "inode_a", "inode_b"] {
+            let l = Arc::new(ShflLock::new());
+            concord.registry().register_shfl(name, Arc::clone(&l));
+            shfl.insert(name.to_string(), l);
+        }
+        let m = Arc::new(ShflMutex::new());
+        concord
+            .registry()
+            .register_shfl_mutex("journal", Arc::clone(&m));
+        mutexes.insert("journal".to_string(), m);
+        concord
+            .registry()
+            .register_bravo("file_table", Arc::new(Bravo::new(NeutralRwLock::new())));
+        Ctl {
+            concord,
+            shfl,
+            mutexes,
+            loaded: HashMap::new(),
+            patches: Vec::new(),
+            profiler: None,
+        }
+    }
+
+    fn run_line(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        let mut parts = line.splitn(4, char::is_whitespace);
+        let cmd = parts.next().unwrap_or("");
+        let result = match cmd {
+            "quit" | "exit" => return false,
+            "help" => {
+                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quit");
+                Ok(())
+            }
+            "locks" => {
+                for name in self.concord.registry().names() {
+                    let h = self.concord.registry().get(&name).expect("listed");
+                    println!("  {name:<12} kind={} id={}", h.kind(), h.id());
+                }
+                Ok(())
+            }
+            "load" => self.cmd_load(parts.next(), parts.next(), parts.next()),
+            "loadsrc" => self.cmd_loadsrc(parts.next(), parts.next(), parts.next()),
+            "attach" => self.cmd_attach(parts.next(), parts.next()),
+            "detach" => self.cmd_detach(),
+            "patches" => {
+                for p in self.concord.live_patches() {
+                    println!("  {p}");
+                }
+                Ok(())
+            }
+            "profile" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.cmd_profile(&rest)
+            }
+            "report" => {
+                match &self.profiler {
+                    Some(p) => print!("{}", p.report()),
+                    None => println!("  (no profiling session)"),
+                }
+                Ok(())
+            }
+            "unprofile" => {
+                match self.profiler.take() {
+                    Some(mut p) => {
+                        p.detach(&self.concord);
+                        println!("  profiler detached");
+                    }
+                    None => println!("  (no profiling session)"),
+                }
+                Ok(())
+            }
+            "hammer" => self.cmd_hammer(parts.next(), parts.next(), parts.next()),
+            "stats" => self.cmd_stats(parts.next()),
+            "store" => {
+                for p in self.concord.store().list_programs("") {
+                    println!("  prog {p}");
+                }
+                for m in self.concord.store().list_maps("") {
+                    println!("  map  {m}");
+                }
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        };
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+        true
+    }
+
+    fn cmd_load(
+        &mut self,
+        name: Option<&str>,
+        hook: Option<&str>,
+        file: Option<&str>,
+    ) -> Result<(), String> {
+        let (name, hook, file) = match (name, hook, file) {
+            (Some(n), Some(h), Some(f)) => (n, h, f),
+            _ => return Err("usage: load <name> <hook> <file.c|file.s>".into()),
+        };
+        let hook = hook_by_name(hook).ok_or_else(|| format!("unknown hook `{hook}`"))?;
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let spec = if file.ends_with(".c") {
+            PolicySpec::from_c(name, hook, &src)
+        } else {
+            PolicySpec::from_asm(name, hook, &src)
+        };
+        let loaded = self.concord.load(spec).map_err(|e| e.to_string())?;
+        println!("  verified and pinned policies/{name}/{}", hook.name());
+        self.loaded.insert(name.to_string(), loaded);
+        Ok(())
+    }
+
+    fn cmd_loadsrc(
+        &mut self,
+        name: Option<&str>,
+        hook: Option<&str>,
+        src: Option<&str>,
+    ) -> Result<(), String> {
+        let (name, hook, src) = match (name, hook, src) {
+            (Some(n), Some(h), Some(s)) => (n, h, s),
+            _ => return Err("usage: loadsrc <name> <hook> <c source…>".into()),
+        };
+        let hook = hook_by_name(hook).ok_or_else(|| format!("unknown hook `{hook}`"))?;
+        let loaded = self
+            .concord
+            .load(PolicySpec::from_c(name, hook, src))
+            .map_err(|e| e.to_string())?;
+        println!("  verified and pinned policies/{name}/{}", hook.name());
+        self.loaded.insert(name.to_string(), loaded);
+        Ok(())
+    }
+
+    fn cmd_attach(&mut self, lock: Option<&str>, policy: Option<&str>) -> Result<(), String> {
+        let (lock, policy) = match (lock, policy) {
+            (Some(l), Some(p)) => (l, p),
+            _ => return Err("usage: attach <lock> <policy>".into()),
+        };
+        let loaded = self
+            .loaded
+            .get(policy)
+            .ok_or_else(|| format!("no loaded policy `{policy}` (use `load` first)"))?;
+        let h = self
+            .concord
+            .attach(lock, loaded)
+            .map_err(|e| e.to_string())?;
+        println!("  patched {lock}/{}", h.hook.name());
+        self.patches.push(h);
+        Ok(())
+    }
+
+    fn cmd_detach(&mut self) -> Result<(), String> {
+        let h = self.patches.pop().ok_or("no live patches")?;
+        let label = format!("{}/{}", h.lock, h.hook.name());
+        self.concord.detach(h).map_err(|e| e.to_string())?;
+        println!("  reverted {label}");
+        Ok(())
+    }
+
+    fn cmd_profile(&mut self, names: &[&str]) -> Result<(), String> {
+        if names.is_empty() {
+            return Err("usage: profile <lock> [<lock>…]".into());
+        }
+        if self.profiler.is_some() {
+            return Err("a profiling session is already running (use `unprofile`)".into());
+        }
+        let p = Profiler::attach(&self.concord, names).map_err(|e| e.to_string())?;
+        println!("  profiling {}", names.join(", "));
+        self.profiler = Some(p);
+        Ok(())
+    }
+
+    fn cmd_hammer(
+        &mut self,
+        lock: Option<&str>,
+        threads: Option<&str>,
+        iters: Option<&str>,
+    ) -> Result<(), String> {
+        let (name, threads, iters) = match (lock, threads, iters) {
+            (Some(l), Some(t), Some(n)) => (
+                l,
+                t.parse::<u32>().map_err(|e| e.to_string())?,
+                n.parse::<u64>().map_err(|e| e.to_string())?,
+            ),
+            _ => return Err("usage: hammer <lock> <threads> <iters>".into()),
+        };
+        let start = std::time::Instant::now();
+        if let Some(l) = self.shfl.get(name) {
+            let mut hs = Vec::new();
+            for t in 0..threads {
+                let l = Arc::clone(l);
+                hs.push(std::thread::spawn(move || {
+                    locks::topo::pin_thread((t * 10) % 80);
+                    for _ in 0..iters {
+                        let _g = l.lock();
+                    }
+                }));
+            }
+            for h in hs {
+                h.join().expect("worker");
+            }
+        } else if let Some(l) = self.mutexes.get(name) {
+            let mut hs = Vec::new();
+            for t in 0..threads {
+                let l = Arc::clone(l);
+                hs.push(std::thread::spawn(move || {
+                    locks::topo::pin_thread((t * 10) % 80);
+                    for _ in 0..iters {
+                        let _g = l.lock();
+                    }
+                }));
+            }
+            for h in hs {
+                h.join().expect("worker");
+            }
+        } else {
+            return Err(format!("`{name}` is not a hammerable lock"));
+        }
+        println!(
+            "  {} acquisitions in {:?}",
+            u64::from(threads) * iters,
+            start.elapsed()
+        );
+        Ok(())
+    }
+
+    fn cmd_stats(&mut self, lock: Option<&str>) -> Result<(), String> {
+        let name = lock.ok_or("usage: stats <lock>")?;
+        if let Some(l) = self.shfl.get(name) {
+            println!("  shuffle phases: {}", l.shuffle_count());
+        } else if let Some(l) = self.mutexes.get(name) {
+            println!("  parks: {}", l.park_count());
+        } else {
+            return Err(format!("no stats for `{name}`"));
+        }
+        Ok(())
+    }
+}
+
+fn main() {
+    let mut ctl = Ctl::new();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(script) = args.get(1) {
+        let content = std::fs::read_to_string(script).unwrap_or_else(|e| {
+            eprintln!("{script}: {e}");
+            std::process::exit(1);
+        });
+        for line in content.lines() {
+            println!("c3> {line}");
+            if !ctl.run_line(line) {
+                return;
+            }
+        }
+        return;
+    }
+    println!("c3ctl — Concord control plane (type `help`)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("c3> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+        if !ctl.run_line(&line) {
+            return;
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Policy composition and conflict detection (§6 "Composing policies").
+//!
+//! Multiple policies can drive one hook through an explicit combinator;
+//! attaching two decision policies to the same hook *without* one is the
+//! conflict the paper warns about, and [`detect_conflicts`] flags it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use locks::hooks::{CmpNodeFn, HookKind, ScheduleWaiterFn};
+
+/// How a chain of decision policies combines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Combinator {
+    /// The first policy that answers `true` wins (priority order).
+    First,
+    /// All policies must agree (`AND`).
+    All,
+    /// Any agreeing policy suffices (`OR`).
+    Any,
+}
+
+impl Combinator {
+    fn fold(self, decisions: impl Iterator<Item = bool>) -> bool {
+        let mut decisions = decisions.peekable();
+        match self {
+            // `First` over booleans: first `true` wins ⇒ same as `Any`,
+            // but evaluation短 circuits in chain order.
+            Combinator::First | Combinator::Any => decisions.any(|d| d),
+            Combinator::All => decisions.all(|d| d),
+        }
+    }
+}
+
+/// Composes `cmp_node` policies under a combinator.
+///
+/// # Panics
+///
+/// Panics on an empty chain.
+pub fn compose_cmp_node(fns: Vec<CmpNodeFn>, comb: Combinator) -> CmpNodeFn {
+    assert!(!fns.is_empty(), "empty policy chain");
+    Arc::new(move |ctx| comb.fold(fns.iter().map(|f| f(ctx))))
+}
+
+/// Composes `schedule_waiter` policies under a combinator.
+///
+/// # Panics
+///
+/// Panics on an empty chain.
+pub fn compose_schedule_waiter(fns: Vec<ScheduleWaiterFn>, comb: Combinator) -> ScheduleWaiterFn {
+    assert!(!fns.is_empty(), "empty policy chain");
+    Arc::new(move |ctx| comb.fold(fns.iter().map(|f| f(ctx))))
+}
+
+/// A detected composition conflict.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ComposeError {
+    /// The hook with more than one uncombined decision policy.
+    pub hook: HookKind,
+    /// Names of the conflicting policies.
+    pub policies: Vec<String>,
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conflicting policies on {}: {} — compose them with an explicit combinator",
+            self.hook.name(),
+            self.policies.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// Flags decision hooks targeted by more than one policy.
+///
+/// Event (profiling) hooks may stack freely — observers do not conflict;
+/// decision hooks may not, because the later attach silently shadows the
+/// earlier one ("conflicting policies can sometimes lead to worse
+/// performance and unexpected behavior", §1).
+pub fn detect_conflicts(policies: &[(&str, HookKind)]) -> Result<(), Vec<ComposeError>> {
+    let mut per_hook: HashMap<HookKind, Vec<String>> = HashMap::new();
+    for (name, hook) in policies {
+        per_hook.entry(*hook).or_default().push((*name).to_string());
+    }
+    let conflicts: Vec<ComposeError> = per_hook
+        .into_iter()
+        .filter(|(hook, names)| {
+            names.len() > 1
+                && matches!(
+                    hook,
+                    HookKind::CmpNode | HookKind::SkipShuffle | HookKind::ScheduleWaiter
+                )
+        })
+        .map(|(hook, mut policies)| {
+            policies.sort();
+            ComposeError { hook, policies }
+        })
+        .collect();
+    if conflicts.is_empty() {
+        Ok(())
+    } else {
+        Err(conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies;
+    use locks::hooks::{CmpNodeCtx, NodeView};
+
+    fn ctx(curr_socket: u32, curr_prio: i64) -> CmpNodeCtx {
+        let mk = |socket, prio| NodeView {
+            tid: 1,
+            cpu: socket * 10,
+            socket,
+            prio,
+            cs_hint: 0,
+            held_locks: 0,
+            wait_start_ns: 0,
+        };
+        CmpNodeCtx {
+            lock_id: 1,
+            shuffler: mk(0, 0),
+            curr: mk(curr_socket, curr_prio),
+        }
+    }
+
+    #[test]
+    fn combinators_fold_as_expected() {
+        let numa = policies::numa_aware_native();
+        let prio = policies::priority_boost_native();
+        let any = compose_cmp_node(vec![numa.clone(), prio.clone()], Combinator::Any);
+        let all = compose_cmp_node(vec![numa, prio], Combinator::All);
+        // Same socket, low prio: numa yes, prio no.
+        assert!(any(&ctx(0, 0)));
+        assert!(!all(&ctx(0, 0)));
+        // Same socket and higher prio: both yes.
+        assert!(any(&ctx(0, 5)));
+        assert!(all(&ctx(0, 5)));
+        // Remote socket, low prio: both no.
+        assert!(!any(&ctx(3, 0)));
+        assert!(!all(&ctx(3, 0)));
+    }
+
+    #[test]
+    fn first_matches_any_semantics_for_booleans() {
+        let never: CmpNodeFn = Arc::new(|_| false);
+        let always: CmpNodeFn = Arc::new(|_| true);
+        let first = compose_cmp_node(vec![never, always], Combinator::First);
+        assert!(first(&ctx(0, 0)));
+    }
+
+    #[test]
+    fn conflicts_flagged_for_decision_hooks_only() {
+        assert!(detect_conflicts(&[
+            ("numa", HookKind::CmpNode),
+            ("prof1", HookKind::LockAcquired),
+            ("prof2", HookKind::LockAcquired),
+        ])
+        .is_ok());
+
+        let err = detect_conflicts(&[("numa", HookKind::CmpNode), ("prio", HookKind::CmpNode)])
+            .unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].hook, HookKind::CmpNode);
+        assert_eq!(err[0].policies, vec!["numa", "prio"]);
+        assert!(err[0].to_string().contains("combinator"));
+    }
+
+    #[test]
+    fn schedule_waiter_composition() {
+        let park_late = policies::adaptive_parking_native(1_000);
+        let never: ScheduleWaiterFn = Arc::new(|_| false);
+        let all = compose_schedule_waiter(vec![park_late, never], Combinator::All);
+        let c = locks::hooks::ScheduleWaiterCtx {
+            lock_id: 1,
+            curr: NodeView {
+                tid: 1,
+                cpu: 0,
+                socket: 0,
+                prio: 0,
+                cs_hint: 0,
+                held_locks: 0,
+                wait_start_ns: 0,
+            },
+            waited_ns: 5_000,
+        };
+        assert!(!all(&c), "AND with a never-park policy must not park");
+    }
+}

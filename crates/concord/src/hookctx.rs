@@ -1,0 +1,363 @@
+//! Hook context layouts, marshalling and per-hook safety rules.
+//!
+//! This module is the contract between the lock side (crate `locks`'s hook
+//! contexts) and the policy side (crate `cbpf`'s verifier and interpreter):
+//! for each Table 1 hook it defines the byte layout a policy sees, the
+//! field permissions, and the extra [`HookRules`] the verifier enforces —
+//! the "more safety properties with respect to locks" of §4.2.
+
+use std::sync::OnceLock;
+
+use cbpf::ctx::{CtxLayout, FieldAccess};
+use cbpf::helpers::HelperId;
+use cbpf::verifier::HookRules;
+use locks::hooks::{
+    CmpNodeCtx, HookKind, LockEventCtx, NodeView, ScheduleWaiterCtx, SkipShuffleCtx,
+};
+
+fn node_fields(
+    b: cbpf::ctx::CtxLayoutBuilder,
+    prefix: &'static str,
+) -> cbpf::ctx::CtxLayoutBuilder {
+    // Field names are `<prefix>_<field>`; all read-only: decision hooks
+    // return decisions, they never mutate lock state (§4.2).
+    let names: [(&'static str, usize); 7] = match prefix {
+        "shuffler" => [
+            ("shuffler_tid", 8),
+            ("shuffler_cpu", 4),
+            ("shuffler_socket", 4),
+            ("shuffler_prio", 8),
+            ("shuffler_cs_hint", 8),
+            ("shuffler_held", 4),
+            ("shuffler_wait_ns", 8),
+        ],
+        "curr" => [
+            ("curr_tid", 8),
+            ("curr_cpu", 4),
+            ("curr_socket", 4),
+            ("curr_prio", 8),
+            ("curr_cs_hint", 8),
+            ("curr_held", 4),
+            ("curr_wait_ns", 8),
+        ],
+        _ => unreachable!("prefix is a compile-time constant"),
+    };
+    let mut b = b;
+    for (name, size) in names {
+        b = b.field(name, size, FieldAccess::ReadOnly);
+    }
+    b
+}
+
+/// Layout of the `cmp_node` context: lock id + shuffler view + curr view.
+pub fn cmp_node_layout() -> &'static CtxLayout {
+    static L: OnceLock<CtxLayout> = OnceLock::new();
+    L.get_or_init(|| {
+        let b = CtxLayout::builder().field("lock_id", 8, FieldAccess::ReadOnly);
+        let b = node_fields(b, "shuffler");
+        let b = node_fields(b, "curr");
+        b.build()
+    })
+}
+
+/// Layout of the `skip_shuffle` context: lock id + shuffler view.
+pub fn skip_shuffle_layout() -> &'static CtxLayout {
+    static L: OnceLock<CtxLayout> = OnceLock::new();
+    L.get_or_init(|| {
+        let b = CtxLayout::builder().field("lock_id", 8, FieldAccess::ReadOnly);
+        node_fields(b, "shuffler").build()
+    })
+}
+
+/// Layout of the `schedule_waiter` context: lock id + curr view + waited_ns.
+pub fn schedule_waiter_layout() -> &'static CtxLayout {
+    static L: OnceLock<CtxLayout> = OnceLock::new();
+    L.get_or_init(|| {
+        let b = CtxLayout::builder().field("lock_id", 8, FieldAccess::ReadOnly);
+        node_fields(b, "curr")
+            .field("waited_ns", 8, FieldAccess::ReadOnly)
+            .build()
+    })
+}
+
+/// Layout of the four profiling-event contexts.
+pub fn event_layout() -> &'static CtxLayout {
+    static L: OnceLock<CtxLayout> = OnceLock::new();
+    L.get_or_init(|| {
+        CtxLayout::builder()
+            .field("lock_id", 8, FieldAccess::ReadOnly)
+            .field("tid", 8, FieldAccess::ReadOnly)
+            .field("cpu", 4, FieldAccess::ReadOnly)
+            .field("socket", 4, FieldAccess::ReadOnly)
+            .field("now_ns", 8, FieldAccess::ReadOnly)
+            .build()
+    })
+}
+
+/// The layout for a hook.
+pub fn layout_for(kind: HookKind) -> &'static CtxLayout {
+    match kind {
+        HookKind::CmpNode => cmp_node_layout(),
+        HookKind::SkipShuffle => skip_shuffle_layout(),
+        HookKind::ScheduleWaiter => schedule_waiter_layout(),
+        _ => event_layout(),
+    }
+}
+
+/// Lock-safety verifier rules for a hook (§4.2).
+///
+/// Decision hooks sit on the shuffler's path: they get a tight instruction
+/// budget and may not call `trace_printk` (unbounded critical-section
+/// growth belongs to the profiling hooks, where Table 1 declares that
+/// hazard). No hook may write its context.
+pub fn rules_for(kind: HookKind) -> HookRules {
+    let decision_helpers = vec![
+        HelperId::MapLookup,
+        HelperId::MapUpdate,
+        HelperId::KtimeNs,
+        HelperId::CpuId,
+        HelperId::NumaId,
+        HelperId::Pid,
+        HelperId::Prandom,
+        HelperId::TaskPriority,
+        HelperId::CpuToNode,
+        HelperId::CpuOnline,
+    ];
+    match kind {
+        HookKind::CmpNode | HookKind::SkipShuffle | HookKind::ScheduleWaiter => HookRules {
+            max_insns: Some(128),
+            allowed_helpers: Some(decision_helpers),
+            allow_ctx_writes: false,
+        },
+        _ => HookRules {
+            max_insns: Some(512),
+            allowed_helpers: None, // Profiling may trace and delete.
+            allow_ctx_writes: false,
+        },
+    }
+}
+
+/// Precomputed byte offsets of one node view's fields (marshalling runs
+/// on lock paths; name lookups and allocation are too slow there).
+#[derive(Clone, Copy)]
+struct NodeOffsets {
+    tid: usize,
+    cpu: usize,
+    socket: usize,
+    prio: usize,
+    cs_hint: usize,
+    held: usize,
+    wait_ns: usize,
+}
+
+impl NodeOffsets {
+    fn of(layout: &CtxLayout, prefix: &str) -> NodeOffsets {
+        let off = |name: &str| {
+            layout
+                .field(&format!("{prefix}_{name}"))
+                .expect("layouts declare all node fields")
+                .offset
+        };
+        NodeOffsets {
+            tid: off("tid"),
+            cpu: off("cpu"),
+            socket: off("socket"),
+            prio: off("prio"),
+            cs_hint: off("cs_hint"),
+            held: off("held"),
+            wait_ns: off("wait_ns"),
+        }
+    }
+}
+
+#[inline]
+fn put64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn write_node(buf: &mut [u8], o: &NodeOffsets, v: &NodeView) {
+    put64(buf, o.tid, v.tid);
+    put32(buf, o.cpu, v.cpu);
+    put32(buf, o.socket, v.socket);
+    put64(buf, o.prio, v.prio as u64);
+    put64(buf, o.cs_hint, v.cs_hint);
+    put32(buf, o.held, v.held_locks);
+    put64(buf, o.wait_ns, v.wait_start_ns);
+}
+
+/// Marshals a `cmp_node` context to bytes.
+pub fn marshal_cmp_node(ctx: &CmpNodeCtx) -> Vec<u8> {
+    struct Offs {
+        size: usize,
+        shuffler: NodeOffsets,
+        curr: NodeOffsets,
+    }
+    static OFFS: OnceLock<Offs> = OnceLock::new();
+    let o = OFFS.get_or_init(|| {
+        let l = cmp_node_layout();
+        Offs {
+            size: l.size(),
+            shuffler: NodeOffsets::of(l, "shuffler"),
+            curr: NodeOffsets::of(l, "curr"),
+        }
+    });
+    let mut buf = vec![0u8; o.size];
+    put64(&mut buf, 0, ctx.lock_id); // lock_id is always field 0.
+    write_node(&mut buf, &o.shuffler, &ctx.shuffler);
+    write_node(&mut buf, &o.curr, &ctx.curr);
+    buf
+}
+
+/// Marshals a `skip_shuffle` context to bytes.
+pub fn marshal_skip_shuffle(ctx: &SkipShuffleCtx) -> Vec<u8> {
+    struct Offs {
+        size: usize,
+        shuffler: NodeOffsets,
+    }
+    static OFFS: OnceLock<Offs> = OnceLock::new();
+    let o = OFFS.get_or_init(|| {
+        let l = skip_shuffle_layout();
+        Offs {
+            size: l.size(),
+            shuffler: NodeOffsets::of(l, "shuffler"),
+        }
+    });
+    let mut buf = vec![0u8; o.size];
+    put64(&mut buf, 0, ctx.lock_id);
+    write_node(&mut buf, &o.shuffler, &ctx.shuffler);
+    buf
+}
+
+/// Marshals a `schedule_waiter` context to bytes.
+pub fn marshal_schedule_waiter(ctx: &ScheduleWaiterCtx) -> Vec<u8> {
+    struct Offs {
+        size: usize,
+        curr: NodeOffsets,
+        waited: usize,
+    }
+    static OFFS: OnceLock<Offs> = OnceLock::new();
+    let o = OFFS.get_or_init(|| {
+        let l = schedule_waiter_layout();
+        Offs {
+            size: l.size(),
+            curr: NodeOffsets::of(l, "curr"),
+            waited: l.field("waited_ns").expect("declared").offset,
+        }
+    });
+    let mut buf = vec![0u8; o.size];
+    put64(&mut buf, 0, ctx.lock_id);
+    write_node(&mut buf, &o.curr, &ctx.curr);
+    put64(&mut buf, o.waited, ctx.waited_ns);
+    buf
+}
+
+/// Marshals an event context to bytes.
+pub fn marshal_event(ctx: &LockEventCtx) -> Vec<u8> {
+    struct Offs {
+        size: usize,
+        tid: usize,
+        cpu: usize,
+        socket: usize,
+        now: usize,
+    }
+    static OFFS: OnceLock<Offs> = OnceLock::new();
+    let o = OFFS.get_or_init(|| {
+        let l = event_layout();
+        let f = |n: &str| l.field(n).expect("declared").offset;
+        Offs {
+            size: l.size(),
+            tid: f("tid"),
+            cpu: f("cpu"),
+            socket: f("socket"),
+            now: f("now_ns"),
+        }
+    });
+    let mut buf = vec![0u8; o.size];
+    put64(&mut buf, 0, ctx.lock_id);
+    put64(&mut buf, o.tid, ctx.tid);
+    put32(&mut buf, o.cpu, ctx.cpu);
+    put32(&mut buf, o.socket, ctx.socket);
+    put64(&mut buf, o.now, ctx.now_ns);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(tid: u64, cpu: u32) -> NodeView {
+        NodeView {
+            tid,
+            cpu,
+            socket: cpu / 10,
+            prio: -7,
+            cs_hint: 1234,
+            held_locks: 2,
+            wait_start_ns: 99,
+        }
+    }
+
+    #[test]
+    fn cmp_node_marshal_roundtrip() {
+        let ctx = CmpNodeCtx {
+            lock_id: 42,
+            shuffler: view(10, 31),
+            curr: view(11, 55),
+        };
+        let buf = marshal_cmp_node(&ctx);
+        let l = cmp_node_layout();
+        assert_eq!(l.read(&buf, "lock_id"), 42);
+        assert_eq!(l.read(&buf, "shuffler_tid"), 10);
+        assert_eq!(l.read(&buf, "shuffler_socket"), 3);
+        assert_eq!(l.read(&buf, "curr_cpu"), 55);
+        assert_eq!(l.read(&buf, "curr_prio") as i64, -7);
+        assert_eq!(l.read(&buf, "curr_cs_hint"), 1234);
+        assert_eq!(l.read(&buf, "curr_held"), 2);
+    }
+
+    #[test]
+    fn layouts_have_expected_fields() {
+        assert!(skip_shuffle_layout().field("shuffler_wait_ns").is_some());
+        assert!(skip_shuffle_layout().field("curr_tid").is_none());
+        assert!(schedule_waiter_layout().field("waited_ns").is_some());
+        assert!(event_layout().field("now_ns").is_some());
+        for kind in HookKind::ALL {
+            assert!(layout_for(kind).size() > 0);
+        }
+    }
+
+    #[test]
+    fn decision_rules_are_tight() {
+        let r = rules_for(HookKind::CmpNode);
+        assert_eq!(r.max_insns, Some(128));
+        assert!(!r.allow_ctx_writes);
+        let allowed = r.allowed_helpers.unwrap();
+        assert!(!allowed.contains(&HelperId::TracePrintk));
+        assert!(allowed.contains(&HelperId::NumaId));
+        let e = rules_for(HookKind::LockAcquired);
+        assert_eq!(e.max_insns, Some(512));
+        assert!(e.allowed_helpers.is_none());
+    }
+
+    #[test]
+    fn event_marshal() {
+        let ctx = LockEventCtx {
+            lock_id: 7,
+            tid: 3,
+            cpu: 12,
+            socket: 1,
+            now_ns: 500,
+        };
+        let buf = marshal_event(&ctx);
+        let l = event_layout();
+        assert_eq!(l.read(&buf, "lock_id"), 7);
+        assert_eq!(l.read(&buf, "cpu"), 12);
+        assert_eq!(l.read(&buf, "now_ns"), 500);
+    }
+}

@@ -1,0 +1,271 @@
+//! Prebuilt policy library — the §3 use cases as loadable programs.
+//!
+//! Every builder returns a [`PolicySpec`] whose program is generated
+//! against the hook layouts of [`crate::hookctx`]; for each bytecode
+//! policy there is a `*_native` twin used by the differential test suite
+//! (bytecode and native must make identical decisions on identical
+//! contexts).
+
+use std::sync::Arc;
+
+use cbpf::insn::{AluOp, JmpOp, MemSize, Reg};
+use cbpf::map::{Map, MapDef, MapKind};
+use cbpf::program::ProgramBuilder;
+use locks::hooks::{CmpNodeFn, HookKind, ScheduleWaiterFn};
+
+use crate::hookctx::{cmp_node_layout, schedule_waiter_layout};
+use crate::workflow::{PolicySource, PolicySpec};
+
+fn cmp_field(name: &str) -> i16 {
+    cmp_node_layout()
+        .field(name)
+        .unwrap_or_else(|| panic!("no cmp_node field {name}"))
+        .offset as i16
+}
+
+/// Builds a cmp_node program `return f(shuffler_field, curr_field)` where
+/// `f` is a single comparison.
+fn cmp_two_fields(
+    name: &str,
+    a: &str,
+    size_a: MemSize,
+    b: &str,
+    size_b: MemSize,
+    op: JmpOp,
+) -> PolicySpec {
+    let mut p = ProgramBuilder::new(name);
+    p.load(size_a, Reg::R2, Reg::R1, cmp_field(a));
+    p.load(size_b, Reg::R3, Reg::R1, cmp_field(b));
+    p.mov_imm(Reg::R0, 1);
+    p.jmp(op, Reg::R2, Reg::R3, "yes");
+    p.mov_imm(Reg::R0, 0);
+    p.label("yes");
+    p.exit();
+    PolicySpec::from_program(name, HookKind::CmpNode, p.build().expect("labels resolve"))
+}
+
+/// NUMA-aware shuffling: group waiters from the shuffler's socket
+/// (§3.1.1 "Lock switching"; the policy evaluated in Fig. 2(b)).
+pub fn numa_aware() -> PolicySpec {
+    cmp_two_fields(
+        "numa_aware",
+        "curr_socket",
+        MemSize::W,
+        "shuffler_socket",
+        MemSize::W,
+        JmpOp::Eq,
+    )
+}
+
+/// Native twin of [`numa_aware`].
+pub fn numa_aware_native() -> CmpNodeFn {
+    Arc::new(|c| c.curr.socket == c.shuffler.socket)
+}
+
+/// Priority boosting: waiters with higher declared priority move forward
+/// (§3.1.1 "Lock priority boosting").
+pub fn priority_boost() -> PolicySpec {
+    cmp_two_fields(
+        "priority_boost",
+        "curr_prio",
+        MemSize::Dw,
+        "shuffler_prio",
+        MemSize::Dw,
+        JmpOp::Sgt,
+    )
+}
+
+/// Native twin of [`priority_boost`].
+pub fn priority_boost_native() -> CmpNodeFn {
+    Arc::new(|c| c.curr.prio > c.shuffler.prio)
+}
+
+/// Lock inheritance: a waiter already holding other locks is boosted, so
+/// it cannot stall a whole lock chain at the back of a FIFO queue
+/// (§3.1.1 "Lock inheritance").
+pub fn lock_inheritance() -> PolicySpec {
+    cmp_two_fields(
+        "lock_inheritance",
+        "curr_held",
+        MemSize::W,
+        "shuffler_held",
+        MemSize::W,
+        JmpOp::Gt,
+    )
+}
+
+/// Native twin of [`lock_inheritance`].
+pub fn lock_inheritance_native() -> CmpNodeFn {
+    Arc::new(|c| c.curr.held_locks > c.shuffler.held_locks)
+}
+
+/// Scheduler-cooperative shuffling: prefer waiters that declared a
+/// critical section shorter than `threshold_ns` — the SCL-style antidote
+/// to scheduler subversion (§3.1.2), applied "only when needed".
+pub fn scheduler_cooperative(threshold_ns: u64) -> PolicySpec {
+    let name = "scheduler_cooperative";
+    let mut p = ProgramBuilder::new(name);
+    p.load(MemSize::Dw, Reg::R2, Reg::R1, cmp_field("curr_cs_hint"));
+    p.ld_imm64(Reg::R3, threshold_ns);
+    p.mov_imm(Reg::R0, 1);
+    p.jmp(JmpOp::Lt, Reg::R2, Reg::R3, "yes");
+    p.mov_imm(Reg::R0, 0);
+    p.label("yes");
+    p.exit();
+    PolicySpec::from_program(name, HookKind::CmpNode, p.build().expect("labels resolve"))
+}
+
+/// Native twin of [`scheduler_cooperative`].
+pub fn scheduler_cooperative_native(threshold_ns: u64) -> CmpNodeFn {
+    Arc::new(move |c| c.curr.cs_hint < threshold_ns)
+}
+
+/// AMP-aware shuffling: waiters on fast cores (cpu < `fast_cores`) move
+/// forward so slow cores do not pace the lock (§3.1.2 "Task-fair locks on
+/// AMP machines").
+pub fn amp_aware(fast_cores: u32) -> PolicySpec {
+    let name = "amp_aware";
+    let mut p = ProgramBuilder::new(name);
+    p.load(MemSize::W, Reg::R2, Reg::R1, cmp_field("curr_cpu"));
+    p.mov_imm(Reg::R0, 1);
+    p.jmp_imm(JmpOp::Lt, Reg::R2, fast_cores as i32, "yes");
+    p.mov_imm(Reg::R0, 0);
+    p.label("yes");
+    p.exit();
+    PolicySpec::from_program(name, HookKind::CmpNode, p.build().expect("labels resolve"))
+}
+
+/// Native twin of [`amp_aware`].
+pub fn amp_aware_native(fast_cores: u32) -> CmpNodeFn {
+    Arc::new(move |c| c.curr.cpu < fast_cores)
+}
+
+/// Adaptive parking: a waiter may park only after spinning `spin_ns` —
+/// the "adaptable parking/wake-up strategy" knob of §3.1.1.
+pub fn adaptive_parking(spin_ns: u64) -> PolicySpec {
+    let name = "adaptive_parking";
+    let layout = schedule_waiter_layout();
+    let waited = layout.field("waited_ns").unwrap().offset as i16;
+    let mut p = ProgramBuilder::new(name);
+    p.load(MemSize::Dw, Reg::R2, Reg::R1, waited);
+    p.ld_imm64(Reg::R3, spin_ns);
+    p.mov_imm(Reg::R0, 1);
+    p.jmp(JmpOp::Ge, Reg::R2, Reg::R3, "yes");
+    p.mov_imm(Reg::R0, 0);
+    p.label("yes");
+    p.exit();
+    PolicySpec::from_program(
+        name,
+        HookKind::ScheduleWaiter,
+        p.build().expect("labels resolve"),
+    )
+}
+
+/// Native twin of [`adaptive_parking`].
+pub fn adaptive_parking_native(spin_ns: u64) -> ScheduleWaiterFn {
+    Arc::new(move |c| c.waited_ns >= spin_ns)
+}
+
+/// Creates the per-CPU counter map used by [`event_counter`].
+pub fn counter_map(name: &str) -> Arc<Map> {
+    Arc::new(Map::new(MapDef {
+        name: name.to_string(),
+        kind: MapKind::PerCpuArray,
+        key_size: 4,
+        value_size: 8,
+        max_entries: 1,
+    }))
+}
+
+/// An event-hook policy that bumps a per-CPU counter — the bytecode
+/// building block of dynamic lock profiling (§3.2). Attach one per event
+/// of interest and read the map from userspace.
+pub fn event_counter(hook: HookKind, map: Arc<Map>) -> PolicySpec {
+    assert!(
+        matches!(
+            hook,
+            HookKind::LockAcquire
+                | HookKind::LockContended
+                | HookKind::LockAcquired
+                | HookKind::LockRelease
+        ),
+        "counter policies attach to event hooks"
+    );
+    let name = format!("count_{}", hook.name());
+    let mut p = ProgramBuilder::new(name.clone());
+    let mid = p.register_map(Arc::clone(&map));
+    p.ldmap(Reg::R1, mid);
+    p.store_imm(MemSize::W, Reg::R10, -4, 0);
+    p.mov(Reg::R2, Reg::R10);
+    p.alu_imm(AluOp::Add, Reg::R2, -4);
+    p.call(cbpf::helpers::HelperId::MapLookup);
+    p.jmp_imm(JmpOp::Eq, Reg::R0, 0, "out");
+    p.load(MemSize::Dw, Reg::R1, Reg::R0, 0);
+    p.alu_imm(AluOp::Add, Reg::R1, 1);
+    p.store(MemSize::Dw, Reg::R0, 0, Reg::R1);
+    p.label("out");
+    p.mov_imm(Reg::R0, 0);
+    p.exit();
+    PolicySpec {
+        name,
+        hook,
+        source: PolicySource::Program(p.build().expect("labels resolve")),
+        maps: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::Concord;
+
+    #[test]
+    fn all_prebuilt_policies_verify() {
+        let c = Concord::new();
+        for spec in [
+            numa_aware(),
+            priority_boost(),
+            lock_inheritance(),
+            scheduler_cooperative(10_000),
+            amp_aware(16),
+            adaptive_parking(50_000),
+            event_counter(HookKind::LockAcquired, counter_map("acq")),
+        ] {
+            let name = spec.name.clone();
+            c.load(spec)
+                .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn event_counter_counts() {
+        use crate::env::RealEnv;
+        use crate::policy::BytecodePolicy;
+        use locks::hooks::LockEventCtx;
+
+        let c = Concord::new();
+        let map = counter_map("acq");
+        let loaded = c
+            .load(event_counter(HookKind::LockAcquired, Arc::clone(&map)))
+            .unwrap();
+        let p = BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()));
+        let f = p.as_event();
+        for i in 0..5 {
+            f(&LockEventCtx {
+                lock_id: 1,
+                tid: 1,
+                cpu: 0,
+                socket: 0,
+                now_ns: i,
+            });
+        }
+        assert_eq!(map.percpu_sum(&0u32.to_le_bytes()), 5);
+        assert_eq!(p.stats().1, 0, "no faults");
+    }
+
+    #[test]
+    #[should_panic(expected = "event hooks")]
+    fn event_counter_rejects_decision_hooks() {
+        event_counter(HookKind::CmpNode, counter_map("x"));
+    }
+}

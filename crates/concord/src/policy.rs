@@ -1,0 +1,504 @@
+//! Bytecode-backed policies for real and simulated locks.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cbpf::interp::run_with_budget;
+use cbpf::store::VerifiedProgram;
+use ksim::Sim;
+use locks::hooks::{
+    CmpNodeCtx, CmpNodeFn, HookKind, LockEventCtx, LockEventFn, ScheduleWaiterCtx,
+    ScheduleWaiterFn, SkipShuffleCtx, SkipShuffleFn,
+};
+use parking_lot::Mutex;
+use simlocks::policy::{Decision, SimPolicy};
+
+use crate::env::{RealEnv, SimHookEnv};
+use crate::hookctx;
+
+/// Modeled cost of a live-patched lock *function* entry: redirection
+/// through the patch site, epoch pin and register shuffling. This is the
+/// cost an attached-but-trivial policy still pays on every acquire and
+/// release — the source of the worst-case slowdown in Fig. 2(c).
+pub const TRAMPOLINE_NS: u64 = 45;
+
+/// Modeled cost of invoking a policy at a hook site (indirect call +
+/// context marshalling); the program itself is JIT-compiled, as kernel
+/// eBPF is.
+pub const HOOK_CALL_NS: u64 = 15;
+
+/// Modeled cost per bytecode instruction after JIT compilation (~2× native
+/// per the usual eBPF JIT experience).
+pub const NS_PER_INSN: u64 = 2;
+
+/// Instruction budget per hook invocation (second-layer guard; verified
+/// policies are loop-free and cannot come close).
+const HOOK_BUDGET: u64 = 1 << 16;
+
+/// A verified program bound to a hook, runnable on real-thread locks.
+pub struct BytecodePolicy {
+    prog: VerifiedProgram,
+    hook: HookKind,
+    env: Arc<RealEnv>,
+    invocations: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl BytecodePolicy {
+    /// Wraps a verified program for `hook`, executing against `env`.
+    pub fn new(prog: VerifiedProgram, hook: HookKind, env: Arc<RealEnv>) -> Arc<Self> {
+        Arc::new(BytecodePolicy {
+            prog,
+            hook,
+            env,
+            invocations: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        })
+    }
+
+    /// `(invocations, runtime faults)` — faults stay zero for verified
+    /// programs; the counter exists for the soundness test harness.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.invocations.load(Ordering::Relaxed),
+            self.faults.load(Ordering::Relaxed),
+        )
+    }
+
+    fn run(&self, ctx: &mut [u8]) -> u64 {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        match run_with_budget(
+            self.prog.program(),
+            ctx,
+            self.prog.layout(),
+            &*self.env,
+            HOOK_BUDGET,
+        ) {
+            Ok(report) => report.ret,
+            Err(_) => {
+                // A fault means a verifier bug; fail safe: "no decision".
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+
+    /// Produces the `cmp_node` closure to install in a hook table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this policy was loaded for a different hook.
+    pub fn as_cmp_node(self: &Arc<Self>) -> CmpNodeFn {
+        assert_eq!(
+            self.hook,
+            HookKind::CmpNode,
+            "policy bound to {:?}",
+            self.hook
+        );
+        let p = Arc::clone(self);
+        Arc::new(move |ctx: &CmpNodeCtx| {
+            let mut buf = hookctx::marshal_cmp_node(ctx);
+            p.run(&mut buf) != 0
+        })
+    }
+
+    /// Produces the `skip_shuffle` closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this policy was loaded for a different hook.
+    pub fn as_skip_shuffle(self: &Arc<Self>) -> SkipShuffleFn {
+        assert_eq!(
+            self.hook,
+            HookKind::SkipShuffle,
+            "policy bound to {:?}",
+            self.hook
+        );
+        let p = Arc::clone(self);
+        Arc::new(move |ctx: &SkipShuffleCtx| {
+            let mut buf = hookctx::marshal_skip_shuffle(ctx);
+            p.run(&mut buf) != 0
+        })
+    }
+
+    /// Produces the `schedule_waiter` closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this policy was loaded for a different hook.
+    pub fn as_schedule_waiter(self: &Arc<Self>) -> ScheduleWaiterFn {
+        assert_eq!(
+            self.hook,
+            HookKind::ScheduleWaiter,
+            "policy bound to {:?}",
+            self.hook
+        );
+        let p = Arc::clone(self);
+        Arc::new(move |ctx: &ScheduleWaiterCtx| {
+            let mut buf = hookctx::marshal_schedule_waiter(ctx);
+            p.run(&mut buf) != 0
+        })
+    }
+
+    /// Produces an event-hook closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this policy was loaded for a decision hook.
+    pub fn as_event(self: &Arc<Self>) -> LockEventFn {
+        assert!(
+            matches!(
+                self.hook,
+                HookKind::LockAcquire
+                    | HookKind::LockContended
+                    | HookKind::LockAcquired
+                    | HookKind::LockRelease
+            ),
+            "policy bound to {:?}",
+            self.hook
+        );
+        let p = Arc::clone(self);
+        Arc::new(move |ctx: &LockEventCtx| {
+            let mut buf = hookctx::marshal_event(ctx);
+            p.run(&mut buf);
+        })
+    }
+}
+
+/// A set of verified programs driving a simulated shuffle lock.
+///
+/// Each invocation runs the interpreter for real (so maps fill, traces
+/// flow) and charges `HOOK_CALL_NS + insns × NS_PER_INSN` to virtual
+/// time — the "Concord-ShflLock" series of Fig. 2(b)/(c).
+pub struct SimBytecodePolicy {
+    sim: Sim,
+    cmp: Option<VerifiedProgram>,
+    skip: Option<VerifiedProgram>,
+    sched: Option<VerifiedProgram>,
+    events: HashMap<HookKind, VerifiedProgram>,
+    priorities: Arc<Mutex<std::collections::HashMap<u64, i64>>>,
+    rng: Cell<u64>,
+    cores_per_socket: u32,
+    invocations: Cell<u64>,
+    faults: Cell<u64>,
+}
+
+impl SimBytecodePolicy {
+    /// Creates an empty policy set for `sim`'s machine.
+    pub fn new(sim: &Sim) -> Self {
+        SimBytecodePolicy {
+            sim: sim.clone(),
+            cmp: None,
+            skip: None,
+            sched: None,
+            events: HashMap::new(),
+            priorities: Arc::new(Mutex::new(Default::default())),
+            rng: Cell::new(0x243F_6A88_85A3_08D3),
+            cores_per_socket: sim.topology().cores_per_socket(),
+            invocations: Cell::new(0),
+            faults: Cell::new(0),
+        }
+    }
+
+    /// Installs a verified program on `hook`.
+    pub fn install(mut self, hook: HookKind, prog: VerifiedProgram) -> Self {
+        match hook {
+            HookKind::CmpNode => self.cmp = Some(prog),
+            HookKind::SkipShuffle => self.skip = Some(prog),
+            HookKind::ScheduleWaiter => self.sched = Some(prog),
+            k => {
+                self.events.insert(k, prog);
+            }
+        }
+        self
+    }
+
+    /// Registers a task priority for the `task_priority` helper.
+    pub fn set_task_priority(&self, tid: u64, prio: i64) {
+        self.priorities.lock().insert(tid, prio);
+    }
+
+    /// Shared priority table (the userspace↔policy control plane).
+    pub fn priorities(&self) -> Arc<Mutex<std::collections::HashMap<u64, i64>>> {
+        Arc::clone(&self.priorities)
+    }
+
+    /// `(invocations, faults)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.invocations.get(), self.faults.get())
+    }
+
+    fn next_random(&self) -> u64 {
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x
+    }
+
+    fn run(&self, prog: &VerifiedProgram, ctx: &mut [u8], cpu: u32, pid: u64) -> (u64, u64) {
+        self.invocations.set(self.invocations.get() + 1);
+        let env = SimHookEnv {
+            cpu,
+            socket: cpu / self.cores_per_socket,
+            now_ns: self.sim.now(),
+            pid,
+            cores_per_socket: self.cores_per_socket,
+            random: self.next_random(),
+            priorities: Arc::clone(&self.priorities),
+            sim: Some(self.sim.clone()),
+        };
+        match run_with_budget(prog.program(), ctx, prog.layout(), &env, HOOK_BUDGET) {
+            Ok(report) => (report.ret, HOOK_CALL_NS + report.insns * NS_PER_INSN),
+            Err(_) => {
+                self.faults.set(self.faults.get() + 1);
+                (0, HOOK_CALL_NS)
+            }
+        }
+    }
+}
+
+impl SimPolicy for SimBytecodePolicy {
+    fn cmp_node(&self, ctx: &CmpNodeCtx) -> Decision {
+        match &self.cmp {
+            Some(prog) => {
+                let mut buf = hookctx::marshal_cmp_node(ctx);
+                let (ret, cost) = self.run(prog, &mut buf, ctx.shuffler.cpu, ctx.shuffler.tid);
+                (ret != 0, cost)
+            }
+            None => (false, 0),
+        }
+    }
+
+    fn skip_shuffle(&self, ctx: &SkipShuffleCtx) -> Decision {
+        match &self.skip {
+            Some(prog) => {
+                let mut buf = hookctx::marshal_skip_shuffle(ctx);
+                let (ret, cost) = self.run(prog, &mut buf, ctx.shuffler.cpu, ctx.shuffler.tid);
+                (ret != 0, cost)
+            }
+            // No explicit skip program: shuffle exactly when a cmp_node
+            // program is attached; consulting the vacant patched slot still
+            // costs an indirect call.
+            None => (self.cmp.is_none(), HOOK_CALL_NS),
+        }
+    }
+
+    fn schedule_waiter(&self, ctx: &ScheduleWaiterCtx) -> Decision {
+        match &self.sched {
+            Some(prog) => {
+                let mut buf = hookctx::marshal_schedule_waiter(ctx);
+                let (ret, cost) = self.run(prog, &mut buf, ctx.curr.cpu, ctx.curr.tid);
+                (ret != 0, cost)
+            }
+            None => (true, 0),
+        }
+    }
+
+    fn on_event(&self, kind: HookKind, ctx: &LockEventCtx) -> u64 {
+        match self.events.get(&kind) {
+            Some(prog) => {
+                let mut buf = hookctx::marshal_event(ctx);
+                let (_, cost) = self.run(prog, &mut buf, ctx.cpu, ctx.tid);
+                cost
+            }
+            None => 0,
+        }
+    }
+
+    fn wants_event(&self, kind: HookKind) -> bool {
+        self.events.contains_key(&kind)
+    }
+}
+
+/// A no-op attached policy for the simulator: the lock's acquire and
+/// release functions have been live-patched (one indirection each), and
+/// the shuffler consults a patched decision slot — but no user code runs.
+/// This is the paper's Fig. 2(c) "worst-case scenario when no userspace
+/// code is executed".
+pub struct AttachedNoopPolicy;
+
+impl SimPolicy for AttachedNoopPolicy {
+    fn cmp_node(&self, _ctx: &CmpNodeCtx) -> Decision {
+        (false, TRAMPOLINE_NS)
+    }
+
+    fn skip_shuffle(&self, _ctx: &SkipShuffleCtx) -> Decision {
+        (true, TRAMPOLINE_NS)
+    }
+
+    fn on_event(&self, _kind: HookKind, _ctx: &LockEventCtx) -> u64 {
+        TRAMPOLINE_NS
+    }
+
+    fn wants_event(&self, kind: HookKind) -> bool {
+        // One patched entry point on the acquire path, one on release.
+        matches!(kind, HookKind::LockAcquire | HookKind::LockRelease)
+    }
+}
+
+/// Like [`AttachedNoopPolicy`] but with a configurable per-entry cost —
+/// the knob for the Fig. 2(c) sensitivity ablation.
+pub struct PatchedEntryPolicy(pub u64);
+
+impl SimPolicy for PatchedEntryPolicy {
+    fn cmp_node(&self, _ctx: &CmpNodeCtx) -> Decision {
+        (false, self.0)
+    }
+
+    fn skip_shuffle(&self, _ctx: &SkipShuffleCtx) -> Decision {
+        (true, self.0)
+    }
+
+    fn on_event(&self, _kind: HookKind, _ctx: &LockEventCtx) -> u64 {
+        self.0
+    }
+
+    fn wants_event(&self, kind: HookKind) -> bool {
+        matches!(kind, HookKind::LockAcquire | HookKind::LockRelease)
+    }
+}
+
+/// Convenience: boxes a policy set for [`simlocks::SimShflLock::set_policy`].
+pub fn into_rc(p: SimBytecodePolicy) -> Rc<dyn SimPolicy> {
+    Rc::new(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbpf::insn::{JmpOp, MemSize, Reg};
+    use cbpf::program::ProgramBuilder;
+    use locks::hooks::NodeView;
+
+    fn view(cpu: u32) -> NodeView {
+        NodeView {
+            tid: u64::from(cpu) + 100,
+            cpu,
+            socket: cpu / 10,
+            prio: 0,
+            cs_hint: 0,
+            held_locks: 0,
+            wait_start_ns: 0,
+        }
+    }
+
+    /// cmp_node: return shuffler_socket == curr_socket.
+    fn numa_prog() -> VerifiedProgram {
+        let layout = hookctx::cmp_node_layout();
+        let sh = layout.field("shuffler_socket").unwrap().offset as i16;
+        let cu = layout.field("curr_socket").unwrap().offset as i16;
+        let mut b = ProgramBuilder::new("numa");
+        b.load(MemSize::W, Reg::R2, Reg::R1, sh);
+        b.load(MemSize::W, Reg::R3, Reg::R1, cu);
+        b.mov_imm(Reg::R0, 0);
+        b.jmp(JmpOp::Ne, Reg::R2, Reg::R3, "out");
+        b.mov_imm(Reg::R0, 1);
+        b.label("out");
+        b.exit();
+        VerifiedProgram::new(
+            b.build().unwrap(),
+            layout,
+            &hookctx::rules_for(HookKind::CmpNode),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn real_policy_decides_from_ctx() {
+        let policy = BytecodePolicy::new(numa_prog(), HookKind::CmpNode, Arc::new(RealEnv::new()));
+        let f = policy.as_cmp_node();
+        let same = CmpNodeCtx {
+            lock_id: 1,
+            shuffler: view(12),
+            curr: view(15),
+        };
+        let cross = CmpNodeCtx {
+            lock_id: 1,
+            shuffler: view(12),
+            curr: view(55),
+        };
+        assert!(f(&same));
+        assert!(!f(&cross));
+        let (inv, faults) = policy.stats();
+        assert_eq!(inv, 2);
+        assert_eq!(faults, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "policy bound to")]
+    fn wrong_hook_binding_panics() {
+        let policy = BytecodePolicy::new(numa_prog(), HookKind::CmpNode, Arc::new(RealEnv::new()));
+        let _ = policy.as_skip_shuffle();
+    }
+
+    #[test]
+    fn sim_policy_charges_cost() {
+        let sim = ksim::SimBuilder::new().build();
+        let p = SimBytecodePolicy::new(&sim).install(HookKind::CmpNode, numa_prog());
+        let ctx = CmpNodeCtx {
+            lock_id: 1,
+            shuffler: view(12),
+            curr: view(15),
+        };
+        let (decision, cost) = p.cmp_node(&ctx);
+        assert!(decision);
+        assert!(cost > HOOK_CALL_NS, "instruction cost must be charged");
+        // skip_shuffle with cmp attached but no skip program: shuffle.
+        let (skip, sc) = p.skip_shuffle(&SkipShuffleCtx {
+            lock_id: 1,
+            shuffler: view(12),
+        });
+        assert!(!skip);
+        assert_eq!(sc, HOOK_CALL_NS);
+        assert_eq!(p.stats().1, 0);
+    }
+
+    #[test]
+    fn noop_policy_costs_trampoline_only() {
+        let p = AttachedNoopPolicy;
+        let (d, c) = p.cmp_node(&CmpNodeCtx {
+            lock_id: 1,
+            shuffler: view(0),
+            curr: view(1),
+        });
+        assert!(!d);
+        assert_eq!(c, TRAMPOLINE_NS);
+        // One patched entry on the acquire path, one on release.
+        assert!(p.wants_event(HookKind::LockAcquire));
+        assert!(p.wants_event(HookKind::LockRelease));
+        assert!(!p.wants_event(HookKind::LockAcquired));
+        assert!(!p.wants_event(HookKind::LockContended));
+    }
+
+    #[test]
+    fn unattached_hooks_cost_nothing() {
+        let sim = ksim::SimBuilder::new().build();
+        let p = SimBytecodePolicy::new(&sim);
+        let (d, c) = p.cmp_node(&CmpNodeCtx {
+            lock_id: 1,
+            shuffler: view(0),
+            curr: view(1),
+        });
+        assert!(!d);
+        assert_eq!(c, 0);
+        assert!(!p.wants_event(HookKind::LockAcquired));
+        assert_eq!(
+            p.on_event(
+                HookKind::LockAcquired,
+                &LockEventCtx {
+                    lock_id: 1,
+                    tid: 1,
+                    cpu: 0,
+                    socket: 0,
+                    now_ns: 0
+                }
+            ),
+            0
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Dynamic lock profiling (§3.2).
+//!
+//! Unlike `lockstat`, "in which all locks are profiled together", the
+//! profiler attaches to a chosen set of lock instances — one lock, a
+//! class, or everything in the registry — through the four event hooks,
+//! and renders a lockstat-style report with hold-time and wait-time
+//! log2 histograms.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ksim::Histogram;
+use locks::hooks::HookKind;
+use parking_lot::Mutex;
+
+use crate::workflow::{AttachHandle, Concord, ConcordError};
+
+/// Per-lock profile counters.
+#[derive(Default)]
+pub struct LockProfile {
+    acquires: AtomicU64,
+    contended: AtomicU64,
+    acquired: AtomicU64,
+    releases: AtomicU64,
+    hold_hist: Mutex<Histogram>,
+    wait_hist: Mutex<Histogram>,
+    // tid → timestamps for in-flight operations.
+    attempt_ts: Mutex<HashMap<u64, u64>>,
+    acquired_ts: Mutex<HashMap<u64, u64>>,
+}
+
+impl LockProfile {
+    /// `(attempts, contended, acquired, releases)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.acquires.load(Ordering::Relaxed),
+            self.contended.load(Ordering::Relaxed),
+            self.acquired.load(Ordering::Relaxed),
+            self.releases.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of the hold-time histogram.
+    pub fn hold_hist(&self) -> Histogram {
+        self.hold_hist.lock().clone()
+    }
+
+    /// Snapshot of the wait-time histogram.
+    pub fn wait_hist(&self) -> Histogram {
+        self.wait_hist.lock().clone()
+    }
+
+    /// Contention ratio (contended / attempts), 0 when idle.
+    pub fn contention_ratio(&self) -> f64 {
+        let a = self.acquires.load(Ordering::Relaxed);
+        if a == 0 {
+            0.0
+        } else {
+            self.contended.load(Ordering::Relaxed) as f64 / a as f64
+        }
+    }
+}
+
+/// A profiling session over a set of locks.
+pub struct Profiler {
+    profiles: Vec<(String, Arc<LockProfile>)>,
+    handles: Vec<AttachHandle>,
+}
+
+impl Profiler {
+    /// Attaches profiling hooks to the named locks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any lock is unknown or not hookable; locks attached before
+    /// the failure are rolled back.
+    pub fn attach(concord: &Concord, locks: &[&str]) -> Result<Profiler, ConcordError> {
+        let mut profiler = Profiler {
+            profiles: Vec::new(),
+            handles: Vec::new(),
+        };
+        for name in locks {
+            match profiler.attach_one(concord, name) {
+                Ok(()) => {}
+                Err(e) => {
+                    profiler.detach(concord);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(profiler)
+    }
+
+    /// Attaches to every lock in a registry class (§3.2's "namespace"
+    /// granularity).
+    ///
+    /// # Errors
+    ///
+    /// See [`Profiler::attach`].
+    pub fn attach_class(concord: &Concord, class: &str) -> Result<Profiler, ConcordError> {
+        let names = concord.registry().names_in_class(class);
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        Profiler::attach(concord, &refs)
+    }
+
+    /// Attaches to every registered lock (the `lockstat` equivalent).
+    ///
+    /// # Errors
+    ///
+    /// See [`Profiler::attach`].
+    pub fn attach_all(concord: &Concord) -> Result<Profiler, ConcordError> {
+        let names = concord.registry().names();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        Profiler::attach(concord, &refs)
+    }
+
+    fn attach_one(&mut self, concord: &Concord, name: &str) -> Result<(), ConcordError> {
+        let profile = Arc::new(LockProfile::default());
+
+        let p = Arc::clone(&profile);
+        let h = concord.attach_native_event(
+            name,
+            HookKind::LockAcquire,
+            Arc::new(move |ctx| {
+                p.acquires.fetch_add(1, Ordering::Relaxed);
+                p.attempt_ts.lock().insert(ctx.tid, ctx.now_ns);
+            }),
+        )?;
+        self.handles.push(h);
+
+        let p = Arc::clone(&profile);
+        let h = concord.attach_native_event(
+            name,
+            HookKind::LockContended,
+            Arc::new(move |_| {
+                p.contended.fetch_add(1, Ordering::Relaxed);
+            }),
+        )?;
+        self.handles.push(h);
+
+        let p = Arc::clone(&profile);
+        let h = concord.attach_native_event(
+            name,
+            HookKind::LockAcquired,
+            Arc::new(move |ctx| {
+                p.acquired.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = p.attempt_ts.lock().remove(&ctx.tid) {
+                    p.wait_hist.lock().record(ctx.now_ns.saturating_sub(start));
+                }
+                p.acquired_ts.lock().insert(ctx.tid, ctx.now_ns);
+            }),
+        )?;
+        self.handles.push(h);
+
+        let p = Arc::clone(&profile);
+        let h = concord.attach_native_event(
+            name,
+            HookKind::LockRelease,
+            Arc::new(move |ctx| {
+                p.releases.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = p.acquired_ts.lock().remove(&ctx.tid) {
+                    p.hold_hist.lock().record(ctx.now_ns.saturating_sub(start));
+                }
+            }),
+        )?;
+        self.handles.push(h);
+
+        self.profiles.push((name.to_string(), profile));
+        Ok(())
+    }
+
+    /// The profile of one lock.
+    pub fn profile(&self, lock: &str) -> Option<&Arc<LockProfile>> {
+        self.profiles
+            .iter()
+            .find(|(n, _)| n == lock)
+            .map(|(_, p)| p)
+    }
+
+    /// Profiled lock names.
+    pub fn locks(&self) -> Vec<&str> {
+        self.profiles.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Detaches every hook (in reverse attach order, honoring the patch
+    /// stack) and returns the collected profiles.
+    pub fn detach(&mut self, concord: &Concord) -> Vec<(String, Arc<LockProfile>)> {
+        while let Some(h) = self.handles.pop() {
+            concord
+                .detach(h)
+                .expect("profiler handles revert in LIFO order");
+        }
+        std::mem::take(&mut self.profiles)
+    }
+
+    /// Renders a lockstat-style report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12}\n",
+            "lock", "acquires", "contended", "cont%", "wait p50(ns)", "hold p50(ns)", "hold max"
+        ));
+        for (name, p) in &self.profiles {
+            let (a, c, _, _) = p.counters();
+            let wait = p.wait_hist();
+            let hold = p.hold_hist();
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>10} {:>7.1}% {:>12} {:>12} {:>12}\n",
+                name,
+                a,
+                c,
+                p.contention_ratio() * 100.0,
+                wait.quantile(0.5),
+                hold.quantile(0.5),
+                hold.max(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locks::{RawLock, ShflLock};
+
+    fn concord_with_lock(name: &str) -> (Concord, Arc<ShflLock>) {
+        let c = Concord::new();
+        let lock = Arc::new(ShflLock::new());
+        c.registry().register_shfl(name, Arc::clone(&lock));
+        (c, lock)
+    }
+
+    #[test]
+    fn profiles_single_lock() {
+        let (c, lock) = concord_with_lock("target");
+        let mut prof = Profiler::attach(&c, &["target"]).unwrap();
+        for _ in 0..100 {
+            let _g = lock.lock();
+        }
+        let p = Arc::clone(prof.profile("target").unwrap());
+        let (a, _, acq, rel) = p.counters();
+        assert_eq!(a, 100);
+        assert_eq!(acq, 100);
+        assert_eq!(rel, 100);
+        assert_eq!(p.hold_hist().count(), 100);
+        let report = prof.report();
+        assert!(report.contains("target"));
+        prof.detach(&c);
+        assert!(c.live_patches().is_empty());
+        // After detach the lock is unobserved again.
+        {
+            let _g = lock.lock();
+        }
+        assert_eq!(p.counters().0, 100);
+    }
+
+    #[test]
+    fn selective_profiling_ignores_other_locks() {
+        let c = Concord::new();
+        let watched = Arc::new(ShflLock::new());
+        let unwatched = Arc::new(ShflLock::new());
+        c.registry().register_shfl("watched", Arc::clone(&watched));
+        c.registry()
+            .register_shfl("unwatched", Arc::clone(&unwatched));
+        let mut prof = Profiler::attach(&c, &["watched"]).unwrap();
+        for _ in 0..10 {
+            let _g = watched.lock();
+            let _h = unwatched.lock();
+        }
+        assert_eq!(prof.profile("watched").unwrap().counters().0, 10);
+        assert!(prof.profile("unwatched").is_none());
+        prof.detach(&c);
+    }
+
+    #[test]
+    fn class_and_all_granularity() {
+        use crate::registry::{LockClass, LockHandle};
+        let c = Concord::new();
+        for (name, class) in [("a1", "alpha"), ("a2", "alpha"), ("b1", "beta")] {
+            c.registry().register(
+                name,
+                LockHandle::Shfl(Arc::new(ShflLock::new())),
+                LockClass(class.into()),
+            );
+        }
+        let mut prof = Profiler::attach_class(&c, "alpha").unwrap();
+        assert_eq!(prof.locks(), vec!["a1", "a2"]);
+        prof.detach(&c);
+        let mut prof = Profiler::attach_all(&c).unwrap();
+        assert_eq!(prof.locks().len(), 3);
+        prof.detach(&c);
+    }
+
+    #[test]
+    fn attach_failure_rolls_back() {
+        let (c, _lock) = concord_with_lock("ok");
+        let err = match Profiler::attach(&c, &["ok", "missing"]) {
+            Err(e) => e,
+            Ok(_) => panic!("attach should fail on a missing lock"),
+        };
+        assert!(matches!(err, ConcordError::UnknownLock(_)));
+        assert!(c.live_patches().is_empty(), "partial attach must roll back");
+    }
+
+    #[test]
+    fn contention_recorded_under_load() {
+        let (c, lock) = concord_with_lock("hot");
+        let mut prof = Profiler::attach(&c, &["hot"]).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _g = l.lock();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let p = prof.profile("hot").unwrap();
+        let (a, _, acq, rel) = p.counters();
+        assert_eq!(a, 2_000);
+        assert_eq!(acq, 2_000);
+        assert_eq!(rel, 2_000);
+        assert_eq!(p.wait_hist().count(), 2_000);
+        prof.detach(&c);
+    }
+}

@@ -1,0 +1,578 @@
+//! The Concord facade: the Fig. 1 workflow end to end.
+//!
+//! `specify → compile → verify → notify → store → patch` — plus the
+//! reverse direction (detach/revert) and the simulated-machine variants
+//! used by the figure benchmarks.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use cbpf::asm::assemble_named;
+use cbpf::error::{AsmError, VerifyError};
+use cbpf::map::Map;
+use cbpf::program::Program;
+use cbpf::store::{ObjectStore, VerifiedProgram};
+use ksim::Sim;
+use livepatch::{Patch, PatchError, PatchHandle, PatchManager, ShadowStore};
+use locks::hooks::{CmpNodeFn, HookKind, LockEventFn, ScheduleWaiterFn, ShflHooks, SkipShuffleFn};
+use simlocks::policy::SimPolicy;
+use simlocks::SimShflLock;
+
+use crate::env::RealEnv;
+use crate::hookctx;
+use crate::policy::{BytecodePolicy, SimBytecodePolicy};
+use crate::registry::LockRegistry;
+
+/// Errors surfaced to the user — the "notify user" arrow of Fig. 1.
+#[derive(Debug)]
+pub enum ConcordError {
+    /// The policy source failed to assemble.
+    Asm(AsmError),
+    /// The verifier rejected the policy.
+    Verify(VerifyError),
+    /// No lock registered under this name.
+    UnknownLock(String),
+    /// The target lock kind does not expose hooks.
+    NotHookable(String),
+    /// Patch stack violation on detach.
+    Patch(PatchError),
+}
+
+impl fmt::Display for ConcordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcordError::Asm(e) => write!(f, "assembly error: {e}"),
+            ConcordError::Verify(e) => write!(f, "verifier rejected policy: {e}"),
+            ConcordError::UnknownLock(n) => write!(f, "no lock named `{n}`"),
+            ConcordError::NotHookable(n) => write!(f, "lock `{n}` does not expose hooks"),
+            ConcordError::Patch(e) => write!(f, "patch error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConcordError {}
+
+impl From<AsmError> for ConcordError {
+    fn from(e: AsmError) -> Self {
+        ConcordError::Asm(e)
+    }
+}
+
+impl From<VerifyError> for ConcordError {
+    fn from(e: VerifyError) -> Self {
+        ConcordError::Verify(e)
+    }
+}
+
+impl From<PatchError> for ConcordError {
+    fn from(e: PatchError) -> Self {
+        ConcordError::Patch(e)
+    }
+}
+
+/// Where a policy's instructions come from.
+pub enum PolicySource {
+    /// Assembly text.
+    Asm(String),
+    /// Restricted C-style source (the paper's §4.2 authoring surface);
+    /// context fields appear as bare identifiers, helpers as calls.
+    CStyle(String),
+    /// A pre-built program (the builder API / prebuilt library).
+    Program(Program),
+}
+
+/// A user-specified policy: Fig. 1 step 1.
+pub struct PolicySpec {
+    /// Name (object-store path component).
+    pub name: String,
+    /// The Table 1 hook this policy targets.
+    pub hook: HookKind,
+    /// Instruction source.
+    pub source: PolicySource,
+    /// Maps the policy references (`ldmap` by name for assembly sources).
+    pub maps: Vec<Arc<Map>>,
+}
+
+impl PolicySpec {
+    /// Convenience constructor from assembly text.
+    pub fn from_asm(name: &str, hook: HookKind, asm: &str) -> Self {
+        PolicySpec {
+            name: name.to_string(),
+            hook,
+            source: PolicySource::Asm(asm.to_string()),
+            maps: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from C-style source.
+    pub fn from_c(name: &str, hook: HookKind, src: &str) -> Self {
+        PolicySpec {
+            name: name.to_string(),
+            hook,
+            source: PolicySource::CStyle(src.to_string()),
+            maps: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from a built program.
+    pub fn from_program(name: &str, hook: HookKind, prog: Program) -> Self {
+        PolicySpec {
+            name: name.to_string(),
+            hook,
+            source: PolicySource::Program(prog),
+            maps: Vec::new(),
+        }
+    }
+
+    /// Adds a referenced map.
+    pub fn with_map(mut self, map: Arc<Map>) -> Self {
+        self.maps.push(map);
+        self
+    }
+}
+
+/// A verified, stored policy ready to attach: the product of Fig. 1
+/// steps 2–5.
+#[derive(Clone)]
+pub struct LoadedPolicy {
+    /// Policy name.
+    pub name: String,
+    /// Bound hook.
+    pub hook: HookKind,
+    /// The verified program.
+    pub prog: VerifiedProgram,
+}
+
+/// Handle for detaching an attached policy.
+#[derive(Debug)]
+pub struct AttachHandle {
+    patch: PatchHandle,
+    /// Target lock name.
+    pub lock: String,
+    /// Patched hook.
+    pub hook: HookKind,
+}
+
+/// The framework object: registry + verifier + object store + livepatch.
+pub struct Concord {
+    registry: LockRegistry,
+    store: ObjectStore,
+    patches: PatchManager,
+    shadows: ShadowStore,
+    env: Arc<RealEnv>,
+}
+
+impl Default for Concord {
+    fn default() -> Self {
+        Concord::new()
+    }
+}
+
+impl Concord {
+    /// Creates a framework instance.
+    pub fn new() -> Self {
+        Concord {
+            registry: LockRegistry::new(),
+            store: ObjectStore::new(),
+            patches: PatchManager::new(),
+            shadows: ShadowStore::new(),
+            env: Arc::new(RealEnv::new()),
+        }
+    }
+
+    /// The lock registry.
+    pub fn registry(&self) -> &LockRegistry {
+        &self.registry
+    }
+
+    /// The pinned-object store (Fig. 1 step 5's "file system").
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The policy execution environment for real locks.
+    pub fn env(&self) -> &Arc<RealEnv> {
+        &self.env
+    }
+
+    /// The shadow-variable store (livepatch shadow data, §4.2).
+    pub fn shadows(&self) -> &ShadowStore {
+        &self.shadows
+    }
+
+    /// Compiles, verifies and pins a policy (Fig. 1 steps 1–5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConcordError::Asm`] or [`ConcordError::Verify`] — the
+    /// "notify user" outcome.
+    pub fn load(&self, spec: PolicySpec) -> Result<LoadedPolicy, ConcordError> {
+        let layout = hookctx::layout_for(spec.hook);
+        let program = match spec.source {
+            PolicySource::Asm(src) => assemble_named(&spec.name, &src, &spec.maps)?,
+            PolicySource::CStyle(src) => cbpf::dsl::compile(&spec.name, &src, layout)?,
+            PolicySource::Program(p) => {
+                if spec.maps.is_empty() {
+                    p
+                } else {
+                    Program::new(
+                        p.name().to_string(),
+                        p.insns().to_vec(),
+                        p.maps().iter().cloned().chain(spec.maps).collect(),
+                    )
+                }
+            }
+        };
+        let rules = hookctx::rules_for(spec.hook);
+        let prog = VerifiedProgram::new(program, layout, &rules)?;
+        let path = format!("policies/{}/{}", spec.name, spec.hook.name());
+        self.store.pin_program(&path, prog.clone());
+        for map in prog.program().maps() {
+            self.store.pin_map(
+                &format!("maps/{}/{}", spec.name, map.def().name),
+                Arc::clone(map),
+            );
+        }
+        Ok(LoadedPolicy {
+            name: spec.name,
+            hook: spec.hook,
+            prog,
+        })
+    }
+
+    fn hooks_of(&self, lock: &str) -> Result<Arc<ShflHooks>, ConcordError> {
+        let handle = self
+            .registry
+            .get(lock)
+            .ok_or_else(|| ConcordError::UnknownLock(lock.to_string()))?;
+        handle
+            .hooks()
+            .cloned()
+            .ok_or_else(|| ConcordError::NotHookable(lock.to_string()))
+    }
+
+    /// Attaches a loaded policy to a lock's hook via livepatch (Fig. 1
+    /// step 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConcordError::UnknownLock`] / [`ConcordError::NotHookable`].
+    pub fn attach(&self, lock: &str, policy: &LoadedPolicy) -> Result<AttachHandle, ConcordError> {
+        let hooks = self.hooks_of(lock)?;
+        let bytecode = BytecodePolicy::new(policy.prog.clone(), policy.hook, Arc::clone(&self.env));
+        match policy.hook {
+            HookKind::CmpNode => {
+                self.attach_cmp_node_fn(lock, policy.hook, bytecode.as_cmp_node(), hooks)
+            }
+            HookKind::SkipShuffle => {
+                self.attach_skip_shuffle_fn(lock, policy.hook, bytecode.as_skip_shuffle(), hooks)
+            }
+            HookKind::ScheduleWaiter => {
+                self.attach_schedule_fn(lock, policy.hook, bytecode.as_schedule_waiter(), hooks)
+            }
+            kind => self.attach_event_fn(lock, kind, bytecode.as_event(), hooks),
+        }
+    }
+
+    /// Attaches a native `cmp_node` closure (profiler and tests use this).
+    ///
+    /// # Errors
+    ///
+    /// See [`Concord::attach`].
+    pub fn attach_native_cmp_node(
+        &self,
+        lock: &str,
+        f: CmpNodeFn,
+    ) -> Result<AttachHandle, ConcordError> {
+        let hooks = self.hooks_of(lock)?;
+        self.attach_cmp_node_fn(lock, HookKind::CmpNode, f, hooks)
+    }
+
+    /// Attaches a native `schedule_waiter` closure.
+    ///
+    /// # Errors
+    ///
+    /// See [`Concord::attach`].
+    pub fn attach_native_schedule_waiter(
+        &self,
+        lock: &str,
+        f: ScheduleWaiterFn,
+    ) -> Result<AttachHandle, ConcordError> {
+        let hooks = self.hooks_of(lock)?;
+        self.attach_schedule_fn(lock, HookKind::ScheduleWaiter, f, hooks)
+    }
+
+    /// Attaches a native event closure.
+    ///
+    /// # Errors
+    ///
+    /// See [`Concord::attach`]; also fails on a decision-hook `kind`.
+    pub fn attach_native_event(
+        &self,
+        lock: &str,
+        kind: HookKind,
+        f: LockEventFn,
+    ) -> Result<AttachHandle, ConcordError> {
+        let hooks = self.hooks_of(lock)?;
+        self.attach_event_fn(lock, kind, f, hooks)
+    }
+
+    fn attach_cmp_node_fn(
+        &self,
+        lock: &str,
+        kind: HookKind,
+        f: CmpNodeFn,
+        hooks: Arc<ShflHooks>,
+    ) -> Result<AttachHandle, ConcordError> {
+        let point = Arc::clone(&hooks.cmp_node);
+        let old = point.get().clone();
+        let mut patch = Patch::new(format!("{lock}/{}", kind.name()));
+        patch.swap(&point, Some(f), old);
+        self.add_active_flag_ops(&mut patch, hooks, kind);
+        Ok(self.finish_attach(lock, kind, patch))
+    }
+
+    fn attach_skip_shuffle_fn(
+        &self,
+        lock: &str,
+        kind: HookKind,
+        f: SkipShuffleFn,
+        hooks: Arc<ShflHooks>,
+    ) -> Result<AttachHandle, ConcordError> {
+        let point = Arc::clone(&hooks.skip_shuffle);
+        let old = point.get().clone();
+        let mut patch = Patch::new(format!("{lock}/{}", kind.name()));
+        patch.swap(&point, Some(f), old);
+        self.add_active_flag_ops(&mut patch, hooks, kind);
+        Ok(self.finish_attach(lock, kind, patch))
+    }
+
+    fn attach_schedule_fn(
+        &self,
+        lock: &str,
+        kind: HookKind,
+        f: ScheduleWaiterFn,
+        hooks: Arc<ShflHooks>,
+    ) -> Result<AttachHandle, ConcordError> {
+        let point = Arc::clone(&hooks.schedule_waiter);
+        let old = point.get().clone();
+        let mut patch = Patch::new(format!("{lock}/{}", kind.name()));
+        patch.swap(&point, Some(f), old);
+        self.add_active_flag_ops(&mut patch, hooks, kind);
+        Ok(self.finish_attach(lock, kind, patch))
+    }
+
+    fn attach_event_fn(
+        &self,
+        lock: &str,
+        kind: HookKind,
+        f: LockEventFn,
+        hooks: Arc<ShflHooks>,
+    ) -> Result<AttachHandle, ConcordError> {
+        let point = match kind {
+            HookKind::LockAcquire => &hooks.lock_acquire,
+            HookKind::LockContended => &hooks.lock_contended,
+            HookKind::LockAcquired => &hooks.lock_acquired,
+            HookKind::LockRelease => &hooks.lock_release,
+            _ => {
+                return Err(ConcordError::NotHookable(format!(
+                    "{} is not an event hook",
+                    kind.name()
+                )))
+            }
+        };
+        let point = Arc::clone(point);
+        let old = point.get().clone();
+        let mut patch = Patch::new(format!("{lock}/{}", kind.name()));
+        patch.swap(&point, Some(f), old);
+        self.add_active_flag_ops(&mut patch, hooks, kind);
+        Ok(self.finish_attach(lock, kind, patch))
+    }
+
+    fn add_active_flag_ops(&self, patch: &mut Patch, hooks: Arc<ShflHooks>, kind: HookKind) {
+        let was_active = hooks.is_active(kind);
+        let h1 = Arc::clone(&hooks);
+        patch.action(
+            move || h1.set_active(kind, true),
+            move || hooks.set_active(kind, was_active),
+        );
+    }
+
+    fn finish_attach(&self, lock: &str, kind: HookKind, patch: Patch) -> AttachHandle {
+        let handle = self.patches.apply(patch);
+        AttachHandle {
+            patch: handle,
+            lock: lock.to_string(),
+            hook: kind,
+        }
+    }
+
+    /// Reverts an attached policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConcordError::Patch`] on a stack-order violation (patches
+    /// revert LIFO, like kernel livepatch).
+    pub fn detach(&self, handle: AttachHandle) -> Result<(), ConcordError> {
+        self.patches.revert(handle.patch)?;
+        Ok(())
+    }
+
+    /// Names of live patches, bottom to top.
+    pub fn live_patches(&self) -> Vec<String> {
+        self.patches.live()
+    }
+
+    /// Flips BRAVO reader-bias on a registered lock — the lock-switching
+    /// use case of §3.1.1 (neutral rwlock ⇄ distributed readers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConcordError::UnknownLock`] / [`ConcordError::NotHookable`].
+    pub fn switch_bravo_bias(&self, lock: &str, enabled: bool) -> Result<(), ConcordError> {
+        match self.registry.get(lock) {
+            Some(crate::registry::LockHandle::Bravo(b)) => {
+                b.set_bias_enabled(enabled);
+                Ok(())
+            }
+            Some(_) => Err(ConcordError::NotHookable(lock.to_string())),
+            None => Err(ConcordError::UnknownLock(lock.to_string())),
+        }
+    }
+
+    /// Builds a simulated-machine policy set from loaded policies.
+    pub fn make_sim_policy(&self, sim: &Sim, loaded: &[&LoadedPolicy]) -> SimBytecodePolicy {
+        let mut p = SimBytecodePolicy::new(sim);
+        for l in loaded {
+            p = p.install(l.hook, l.prog.clone());
+        }
+        p
+    }
+
+    /// Attaches a policy set to a simulated lock (the sim analog of the
+    /// livepatch step; the simulator is single-threaded, so the swap is a
+    /// plain replace).
+    pub fn attach_sim(&self, lock: &SimShflLock, policy: Rc<dyn SimPolicy>) {
+        lock.set_policy(policy);
+    }
+
+    /// Restores a simulated lock to its unpatched FIFO behavior.
+    pub fn detach_sim(&self, lock: &SimShflLock) {
+        lock.set_policy(Rc::new(simlocks::FifoPolicy::new()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locks::{RawLock, ShflLock};
+
+    fn trivial_spec(name: &str, hook: HookKind, ret: i32) -> PolicySpec {
+        PolicySpec::from_asm(name, hook, &format!("mov r0, {ret}\nexit"))
+    }
+
+    #[test]
+    fn load_verifies_and_pins() {
+        let c = Concord::new();
+        let loaded = c.load(trivial_spec("p1", HookKind::CmpNode, 0)).unwrap();
+        assert_eq!(loaded.hook, HookKind::CmpNode);
+        assert!(c.store().get_program("policies/p1/cmp_node").is_some());
+    }
+
+    #[test]
+    fn load_rejects_bad_asm_and_unsafe_programs() {
+        let c = Concord::new();
+        let bad_asm = PolicySpec::from_asm("x", HookKind::CmpNode, "bogus r0");
+        assert!(matches!(c.load(bad_asm), Err(ConcordError::Asm(_))));
+        // Loop: rejected by the verifier.
+        let looping =
+            PolicySpec::from_asm("y", HookKind::CmpNode, "start:\nmov r0, 0\nja start\nexit");
+        assert!(matches!(c.load(looping), Err(ConcordError::Verify(_))));
+        // trace_printk is banned in decision hooks.
+        let tracing = PolicySpec::from_asm(
+            "z",
+            HookKind::CmpNode,
+            "stb [r10-1], 65\nmov r1, r10\nadd r1, -1\nmov r2, 1\ncall trace_printk\nexit",
+        );
+        assert!(matches!(c.load(tracing), Err(ConcordError::Verify(_))));
+        // …but allowed in profiling hooks.
+        let tracing_ok = PolicySpec::from_asm(
+            "w",
+            HookKind::LockAcquired,
+            "stb [r10-1], 65\nmov r1, r10\nadd r1, -1\nmov r2, 1\ncall trace_printk\nexit",
+        );
+        assert!(c.load(tracing_ok).is_ok());
+    }
+
+    #[test]
+    fn attach_detach_roundtrip() {
+        let c = Concord::new();
+        let lock = Arc::new(ShflLock::new());
+        c.registry().register_shfl("l", Arc::clone(&lock));
+        assert!(!lock.hooks().is_active(HookKind::CmpNode));
+
+        let loaded = c.load(trivial_spec("p", HookKind::CmpNode, 1)).unwrap();
+        let h = c.attach("l", &loaded).unwrap();
+        assert!(lock.hooks().is_active(HookKind::CmpNode));
+        assert_eq!(c.live_patches(), vec!["l/cmp_node"]);
+        {
+            let _g = lock.lock();
+        }
+        c.detach(h).unwrap();
+        assert!(!lock.hooks().is_active(HookKind::CmpNode));
+        assert!(c.live_patches().is_empty());
+    }
+
+    #[test]
+    fn attach_unknown_lock_fails() {
+        let c = Concord::new();
+        let loaded = c.load(trivial_spec("p", HookKind::CmpNode, 1)).unwrap();
+        assert!(matches!(
+            c.attach("ghost", &loaded),
+            Err(ConcordError::UnknownLock(_))
+        ));
+    }
+
+    #[test]
+    fn detach_out_of_order_is_rejected() {
+        let c = Concord::new();
+        let lock = Arc::new(ShflLock::new());
+        c.registry().register_shfl("l", lock);
+        let p1 = c.load(trivial_spec("p1", HookKind::CmpNode, 1)).unwrap();
+        let p2 = c
+            .load(trivial_spec("p2", HookKind::LockAcquired, 0))
+            .unwrap();
+        let h1 = c.attach("l", &p1).unwrap();
+        let h2 = c.attach("l", &p2).unwrap();
+        assert!(matches!(c.detach(h1), Err(ConcordError::Patch(_))));
+        // LIFO order works.
+        let h1 = AttachHandle {
+            patch: h2.patch,
+            lock: h2.lock,
+            hook: h2.hook,
+        };
+        c.detach(h1).unwrap();
+    }
+
+    #[test]
+    fn bravo_switching() {
+        use locks::{Bravo, NeutralRwLock};
+        let c = Concord::new();
+        let b = Arc::new(Bravo::new(NeutralRwLock::new()));
+        c.registry().register_bravo("rw", Arc::clone(&b));
+        c.switch_bravo_bias("rw", false).unwrap();
+        assert!(!b.is_biased());
+        c.switch_bravo_bias("rw", true).unwrap();
+        assert!(matches!(
+            c.switch_bravo_bias("none", true),
+            Err(ConcordError::UnknownLock(_))
+        ));
+        // A hookable lock is not a BRAVO lock.
+        c.registry().register_shfl("s", Arc::new(ShflLock::new()));
+        assert!(matches!(
+            c.switch_bravo_bias("s", true),
+            Err(ConcordError::NotHookable(_))
+        ));
+    }
+}

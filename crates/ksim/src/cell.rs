@@ -1,0 +1,483 @@
+//! Charged shared-memory cells: the simulation's "atomics".
+//!
+//! Each cell occupies its own cache line in the [`crate::cache`] model.
+//! Every access is an `async fn` that (1) computes and claims its coherence
+//! cost at issue time, (2) suspends for that latency, and (3) applies its
+//! memory effect atomically at *completion* — the executor is
+//! single-threaded, so the apply step is indivisible. Operations therefore
+//! linearize in completion order: a task whose line is local wins a race
+//! against one that must pull the line across the interconnect, exactly as
+//! on hardware. (Applying at issue instead would let a remote CAS beat a
+//! local one for free, which starves lock handoffs of their locality
+//! advantage.)
+//!
+//! Spin-waiting uses [`SimCell::wait_while`], which registers the task as a
+//! *watcher* of the line instead of simulating every polling iteration:
+//! wakeups are driven by stores, keeping the event count proportional to
+//! lock handoffs rather than spin cycles. The re-check after a wakeup pays a
+//! real (usually cross-socket) load, which is exactly the invalidation-storm
+//! cost that makes test-and-set locks collapse and queue locks scale.
+
+use std::cell::Cell;
+
+use crate::cache::LineId;
+use crate::exec::{Sim, TaskCtx};
+
+/// A shared cell holding a small `Copy` value on its own cache line.
+pub struct SimCell<T: Copy> {
+    line: LineId,
+    val: Cell<T>,
+}
+
+impl<T: Copy + 'static> SimCell<T> {
+    /// Creates a cell on a fresh cache line of `sim`'s machine.
+    pub fn new(sim: &Sim, init: T) -> Self {
+        SimCell {
+            line: sim.alloc_line(),
+            val: Cell::new(init),
+        }
+    }
+
+    /// Creates a cell sharing the cache line of `other` (for modeling
+    /// false sharing or packed lock words).
+    pub fn new_on_line_of<U: Copy>(other: &SimCell<U>, init: T) -> Self {
+        SimCell {
+            line: other.line,
+            val: Cell::new(init),
+        }
+    }
+
+    /// The cache line this cell lives on.
+    pub fn line(&self) -> LineId {
+        self.line
+    }
+
+    /// Reads the value without charging any cost (for assertions and
+    /// statistics only — never inside a simulated algorithm).
+    pub fn peek(&self) -> T {
+        self.val.get()
+    }
+
+    /// Writes the value without charging any cost (initialization only).
+    pub fn poke(&self, v: T) {
+        self.val.set(v);
+    }
+
+    /// Charged load; returns the value as of completion.
+    pub async fn load(&self, t: &TaskCtx) -> T {
+        let cost = t.shared.cache.borrow_mut().load_cost(self.line, t.socket());
+        t.advance(cost).await;
+        self.val.get()
+    }
+
+    /// Charged store; applied at completion, waking spin-waiters then.
+    pub async fn store(&self, t: &TaskCtx, v: T) {
+        let cost = t
+            .shared
+            .cache
+            .borrow_mut()
+            .store_cost(self.line, t.socket());
+        t.advance(cost).await;
+        self.val.set(v);
+        let watchers = t.shared.cache.borrow_mut().take_watchers(self.line);
+        t.wake_watchers(watchers, t.latency().load_hit);
+    }
+
+    /// Charged atomic read-modify-write, applied at completion; returns
+    /// the previous value.
+    pub async fn rmw(&self, t: &TaskCtx, f: impl FnOnce(T) -> T) -> T {
+        let base = t
+            .shared
+            .cache
+            .borrow_mut()
+            .store_cost(self.line, t.socket());
+        t.advance(base + t.latency().rmw_extra).await;
+        let old = self.val.get();
+        self.val.set(f(old));
+        let watchers = t.shared.cache.borrow_mut().take_watchers(self.line);
+        t.wake_watchers(watchers, t.latency().load_hit);
+        old
+    }
+
+    /// Charged compare-and-swap; returns `Ok(old)` on success, `Err(actual)`
+    /// on failure. A failed CAS still pays the full RMW cost, as on real
+    /// hardware (the line is acquired exclusively either way), and the
+    /// comparison happens at completion, when the line is actually held.
+    pub async fn compare_exchange(&self, t: &TaskCtx, expected: T, new: T) -> Result<T, T>
+    where
+        T: PartialEq,
+    {
+        let base = t
+            .shared
+            .cache
+            .borrow_mut()
+            .store_cost(self.line, t.socket());
+        t.advance(base + t.latency().rmw_extra).await;
+        let old = self.val.get();
+        if old == expected {
+            self.val.set(new);
+            let watchers = t.shared.cache.borrow_mut().take_watchers(self.line);
+            t.wake_watchers(watchers, t.latency().load_hit);
+            Ok(old)
+        } else {
+            // Value unchanged: watchers stay registered for the next write.
+            Err(old)
+        }
+    }
+
+    /// Charged atomic swap; returns the previous value.
+    pub async fn swap(&self, t: &TaskCtx, v: T) -> T {
+        self.rmw(t, |_| v).await
+    }
+
+    /// Spin-waits (watcher-based) until `pred(value)` is false; returns the
+    /// value that ended the wait.
+    ///
+    /// Models `while pred(load()) cpu_relax();`.
+    pub async fn wait_while(&self, t: &TaskCtx, pred: impl Fn(T) -> bool) -> T {
+        loop {
+            // Charge a load for the check, then decide on the *current*
+            // value in the same executor poll as the watcher registration:
+            // a store can only happen between polls, so checking a stale
+            // value here would lose the wakeup of a store that landed
+            // during the load's latency window.
+            let _ = self.load(t).await;
+            let v = self.val.get();
+            if !pred(v) {
+                return v;
+            }
+            t.watch_line(self.line);
+            t.suspend().await;
+        }
+    }
+
+    /// Like [`SimCell::wait_while`] but gives up at `deadline_ns` of virtual
+    /// time, returning `Err(last_value)` on timeout.
+    ///
+    /// Used to model spin-then-park strategies.
+    pub async fn wait_while_deadline(
+        &self,
+        t: &TaskCtx,
+        pred: impl Fn(T) -> bool,
+        deadline_ns: u64,
+    ) -> Result<T, T> {
+        let mut deadline_armed = false;
+        loop {
+            // See `wait_while`: the decision and the watcher registration
+            // must use the value as of this poll, not the load-issue value.
+            let _ = self.load(t).await;
+            let v = self.val.get();
+            if !pred(v) {
+                return Ok(v);
+            }
+            if t.now() >= deadline_ns {
+                return Err(v);
+            }
+            if !deadline_armed {
+                t.schedule_self_at(deadline_ns);
+                deadline_armed = true;
+            }
+            t.watch_line(self.line);
+            t.suspend().await;
+            t.unwatch_line(self.line);
+        }
+    }
+}
+
+/// A charged cell holding a `u64`, with arithmetic and bit RMWs.
+pub struct SimWord {
+    cell: SimCell<u64>,
+}
+
+impl SimWord {
+    /// Creates a word on a fresh cache line.
+    pub fn new(sim: &Sim, init: u64) -> Self {
+        SimWord {
+            cell: SimCell::new(sim, init),
+        }
+    }
+
+    /// Creates a word sharing another word's cache line (packed lock
+    /// words, false sharing).
+    pub fn new_on_line_of(other: &SimWord, init: u64) -> Self {
+        SimWord {
+            cell: SimCell::new_on_line_of(&other.cell, init),
+        }
+    }
+
+    /// The cache line this word lives on.
+    pub fn line(&self) -> LineId {
+        self.cell.line()
+    }
+
+    /// Uncharged read (assertions/statistics only).
+    pub fn peek(&self) -> u64 {
+        self.cell.peek()
+    }
+
+    /// Uncharged write (initialization only).
+    pub fn poke(&self, v: u64) {
+        self.cell.poke(v);
+    }
+
+    /// Charged load.
+    pub async fn load(&self, t: &TaskCtx) -> u64 {
+        self.cell.load(t).await
+    }
+
+    /// Charged store.
+    pub async fn store(&self, t: &TaskCtx, v: u64) {
+        self.cell.store(t, v).await
+    }
+
+    /// Charged fetch-add; returns the previous value.
+    pub async fn fetch_add(&self, t: &TaskCtx, v: u64) -> u64 {
+        self.cell.rmw(t, |x| x.wrapping_add(v)).await
+    }
+
+    /// Charged fetch-sub; returns the previous value.
+    pub async fn fetch_sub(&self, t: &TaskCtx, v: u64) -> u64 {
+        self.cell.rmw(t, |x| x.wrapping_sub(v)).await
+    }
+
+    /// Charged fetch-or; returns the previous value.
+    pub async fn fetch_or(&self, t: &TaskCtx, v: u64) -> u64 {
+        self.cell.rmw(t, |x| x | v).await
+    }
+
+    /// Charged fetch-and; returns the previous value.
+    pub async fn fetch_and(&self, t: &TaskCtx, v: u64) -> u64 {
+        self.cell.rmw(t, |x| x & v).await
+    }
+
+    /// Charged swap; returns the previous value.
+    pub async fn swap(&self, t: &TaskCtx, v: u64) -> u64 {
+        self.cell.swap(t, v).await
+    }
+
+    /// Charged compare-and-swap.
+    pub async fn compare_exchange(&self, t: &TaskCtx, expected: u64, new: u64) -> Result<u64, u64> {
+        self.cell.compare_exchange(t, expected, new).await
+    }
+
+    /// Watcher-based spin-wait; see [`SimCell::wait_while`].
+    pub async fn wait_while(&self, t: &TaskCtx, pred: impl Fn(u64) -> bool) -> u64 {
+        self.cell.wait_while(t, pred).await
+    }
+
+    /// Deadline-bounded spin-wait; see [`SimCell::wait_while_deadline`].
+    pub async fn wait_while_deadline(
+        &self,
+        t: &TaskCtx,
+        pred: impl Fn(u64) -> bool,
+        deadline_ns: u64,
+    ) -> Result<u64, u64> {
+        self.cell.wait_while_deadline(t, pred, deadline_ns).await
+    }
+}
+
+/// A charged boolean flag (e.g., a test-and-set lock byte).
+pub struct SimFlag {
+    cell: SimCell<bool>,
+}
+
+impl SimFlag {
+    /// Creates a flag on a fresh cache line.
+    pub fn new(sim: &Sim, init: bool) -> Self {
+        SimFlag {
+            cell: SimCell::new(sim, init),
+        }
+    }
+
+    /// Uncharged read (assertions only).
+    pub fn peek(&self) -> bool {
+        self.cell.peek()
+    }
+
+    /// Charged load.
+    pub async fn load(&self, t: &TaskCtx) -> bool {
+        self.cell.load(t).await
+    }
+
+    /// Charged store.
+    pub async fn store(&self, t: &TaskCtx, v: bool) {
+        self.cell.store(t, v).await
+    }
+
+    /// Charged test-and-set; returns the previous value.
+    pub async fn test_and_set(&self, t: &TaskCtx) -> bool {
+        self.cell.rmw(t, |_| true).await
+    }
+
+    /// Charged clear.
+    pub async fn clear(&self, t: &TaskCtx) {
+        self.cell.store(t, false).await
+    }
+
+    /// Spin-waits until the flag is false; see [`SimCell::wait_while`].
+    pub async fn wait_clear(&self, t: &TaskCtx) {
+        self.cell.wait_while(t, |v| v).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SimBuilder;
+    use crate::topology::CpuId;
+    use std::rc::Rc;
+
+    #[test]
+    fn rmw_is_atomic_across_tasks() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        for cpu in 0..16u32 {
+            let w = Rc::clone(&w);
+            sim.spawn_on(CpuId(cpu % 80), move |t| async move {
+                for _ in 0..100 {
+                    w.fetch_add(&t, 1).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(w.peek(), 1_600);
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 5));
+        let w2 = Rc::clone(&w);
+        sim.spawn_on(CpuId(0), move |t| async move {
+            assert_eq!(w2.compare_exchange(&t, 5, 9).await, Ok(5));
+            assert_eq!(w2.compare_exchange(&t, 5, 11).await, Err(9));
+        });
+        sim.run();
+        assert_eq!(w.peek(), 9);
+    }
+
+    #[test]
+    fn wait_while_wakes_on_store() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        let seen = Rc::new(Cell::new(0));
+        let (w1, s1) = (Rc::clone(&w), Rc::clone(&seen));
+        sim.spawn_on(CpuId(0), move |t| async move {
+            let v = w1.wait_while(&t, |v| v == 0).await;
+            s1.set(v);
+        });
+        let w2 = Rc::clone(&w);
+        sim.spawn_on(CpuId(10), move |t| async move {
+            t.advance(10_000).await;
+            w2.store(&t, 42).await;
+        });
+        let stats = sim.run();
+        assert_eq!(seen.get(), 42);
+        assert!(stats.final_time_ns >= 10_000);
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn wait_while_returns_immediately_if_condition_holds() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 3));
+        let w1 = Rc::clone(&w);
+        sim.spawn_on(CpuId(0), move |t| async move {
+            assert_eq!(w1.wait_while(&t, |v| v == 0).await, 3);
+        });
+        let stats = sim.run();
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn wait_while_deadline_times_out() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        let timed_out = Rc::new(Cell::new(false));
+        let (w1, to) = (Rc::clone(&w), Rc::clone(&timed_out));
+        sim.spawn_on(CpuId(0), move |t| async move {
+            let r = w1.wait_while_deadline(&t, |v| v == 0, 5_000).await;
+            to.set(r.is_err());
+        });
+        let stats = sim.run();
+        assert!(timed_out.get());
+        assert!(stats.stuck_tasks.is_empty());
+        assert!(stats.final_time_ns >= 5_000);
+    }
+
+    #[test]
+    fn wait_while_deadline_succeeds_before_deadline() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        let got = Rc::new(Cell::new(0u64));
+        let (w1, g) = (Rc::clone(&w), Rc::clone(&got));
+        sim.spawn_on(CpuId(0), move |t| async move {
+            let r = w1.wait_while_deadline(&t, |v| v == 0, 1_000_000).await;
+            g.set(r.unwrap());
+        });
+        let w2 = Rc::clone(&w);
+        sim.spawn_on(CpuId(1), move |t| async move {
+            t.advance(2_000).await;
+            w2.store(&t, 7).await;
+        });
+        sim.run();
+        assert_eq!(got.get(), 7);
+    }
+
+    #[test]
+    fn many_spinners_all_wake() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        let woke = Rc::new(Cell::new(0u32));
+        for cpu in 0..40u32 {
+            let (w1, k) = (Rc::clone(&w), Rc::clone(&woke));
+            sim.spawn_on(CpuId(cpu), move |t| async move {
+                w1.wait_while(&t, |v| v == 0).await;
+                k.set(k.get() + 1);
+            });
+        }
+        let w2 = Rc::clone(&w);
+        sim.spawn_on(CpuId(79), move |t| async move {
+            t.advance(50_000).await;
+            w2.store(&t, 1).await;
+        });
+        let stats = sim.run();
+        assert_eq!(woke.get(), 40);
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn failed_cas_preserves_watchers() {
+        let sim = SimBuilder::new().build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        let done = Rc::new(Cell::new(false));
+        let (w1, d1) = (Rc::clone(&w), Rc::clone(&done));
+        sim.spawn_on(CpuId(0), move |t| async move {
+            w1.wait_while(&t, |v| v != 9).await;
+            d1.set(true);
+        });
+        let w2 = Rc::clone(&w);
+        sim.spawn_on(CpuId(11), move |t| async move {
+            t.advance(1_000).await;
+            // Failed CAS: does not change the value, must not strand the
+            // waiter forever (watchers preserved).
+            let _ = w2.compare_exchange(&t, 5, 6).await;
+            t.advance(1_000).await;
+            w2.store(&t, 9).await;
+        });
+        let stats = sim.run();
+        assert!(done.get());
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn cells_share_lines_when_requested() {
+        let sim = SimBuilder::new().build();
+        let a: SimCell<u32> = SimCell::new(&sim, 0);
+        let b: SimCell<u8> = SimCell::new_on_line_of(&a, 0);
+        assert_eq!(a.line(), b.line());
+        let c: SimCell<u32> = SimCell::new(&sim, 0);
+        assert_ne!(a.line(), c.line());
+    }
+}

@@ -1,0 +1,312 @@
+//! Measurement helpers shared by workloads, the profiler and the benches.
+
+/// Power-of-two bucketed histogram, in the style of the kernel's `lockstat`
+/// and BPF `hist` maps.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts 0.
+///
+/// # Examples
+///
+/// ```
+/// use ksim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(1000);
+/// assert_eq!(h.count(), 3);
+/// assert!(h.max() >= 1000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile from the bucket boundaries (`q` in `[0, 1]`).
+    ///
+    /// Returns the upper bound of the bucket containing the requested rank,
+    /// which is exact to within a factor of two — the same fidelity as BPF
+    /// log2 histograms.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen > rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty `(bucket_floor, count)` pairs, for report rendering.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (if i == 0 { 0 } else { 1u64 << i }, *c))
+            .collect()
+    }
+}
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use ksim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.add(v);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-9);
+/// assert!((s.population_stddev() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.n += 1;
+        let d = v - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 if fewer than two samples.
+    pub fn population_stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean), or 0 for an empty or
+    /// zero-mean stream. Used as the fairness metric in the Table 1 bench.
+    pub fn cov(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.population_stddev() / m
+        }
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(0, 2), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(1.0));
+        // Median of 1..=1024 is ~512; log2 bucket upper bound is 512 or 1024.
+        assert!((256..=1024).contains(&h.quantile(0.5)));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_extrema_and_cov() {
+        let mut s = OnlineStats::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.add(v);
+        }
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert!(s.cov() > 0.0);
+        let mut uniform = OnlineStats::new();
+        for _ in 0..10 {
+            uniform.add(4.0);
+        }
+        assert_eq!(uniform.cov(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the simulator substrate.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ksim::{CpuId, SimBuilder, SimWord, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Topology math: every CPU maps to exactly one socket, and the
+    /// socket's CPU list contains it.
+    #[test]
+    fn topology_partition(sockets in 1u32..16, cores in 1u32..16) {
+        let t = Topology::new(sockets, cores);
+        prop_assert_eq!(t.num_cpus(), sockets * cores);
+        for cpu in t.all_cpus() {
+            let s = t.socket_of(cpu);
+            prop_assert!(s.0 < sockets);
+            prop_assert!(t.cpus_of(s).any(|c| c == cpu));
+        }
+    }
+
+    /// Placements stay within the topology and have the advertised shape.
+    #[test]
+    fn placements_in_bounds(sockets in 1u32..8, cores in 1u32..8, n in 1usize..64) {
+        let t = Topology::new(sockets, cores);
+        for cpu in t.compact_placement(n) {
+            prop_assert!(cpu.0 < t.num_cpus());
+        }
+        let scatter = t.scatter_placement(n);
+        for cpu in &scatter {
+            prop_assert!(cpu.0 < t.num_cpus());
+        }
+        // Scatter: consecutive tasks land on consecutive sockets.
+        for (i, cpu) in scatter.iter().enumerate() {
+            prop_assert_eq!(t.socket_of(*cpu).0, i as u32 % sockets);
+        }
+    }
+
+    /// Concurrent charged RMWs from arbitrary placements never lose
+    /// updates, and virtual time only moves forward.
+    #[test]
+    fn rmw_linearizability(
+        tasks in 1usize..24,
+        iters in 1u64..60,
+        seed in any::<u64>(),
+        cpus in proptest::collection::vec(0u32..80, 24),
+    ) {
+        let sim = SimBuilder::new().seed(seed).build();
+        let w = Rc::new(SimWord::new(&sim, 0));
+        for &cpu in cpus.iter().take(tasks) {
+            let w = Rc::clone(&w);
+            sim.spawn_on(CpuId(cpu), move |t| async move {
+                for _ in 0..iters {
+                    w.fetch_add(&t, 1).await;
+                    t.advance(t.rng_u64() % 100).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        prop_assert_eq!(w.peek(), tasks as u64 * iters);
+        prop_assert!(stats.stuck_tasks.is_empty());
+    }
+
+    /// wait_while never loses a wakeup: a waiter per word, stores arriving
+    /// at arbitrary (seeded) times, everything must finish.
+    #[test]
+    fn no_lost_wakeups(
+        pairs in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let sim = SimBuilder::new().seed(seed).build();
+        let done = Rc::new(Cell::new(0usize));
+        for i in 0..pairs {
+            let w = Rc::new(SimWord::new(&sim, 0));
+            let (w1, d) = (Rc::clone(&w), Rc::clone(&done));
+            sim.spawn_on(CpuId((i as u32 * 3) % 80), move |t| async move {
+                w1.wait_while(&t, |v| v == 0).await;
+                d.set(d.get() + 1);
+            });
+            sim.spawn_on(CpuId((i as u32 * 7 + 1) % 80), move |t| async move {
+                t.advance(t.rng_u64() % 5_000).await;
+                w.store(&t, 1).await;
+            });
+        }
+        let stats = sim.run();
+        prop_assert_eq!(done.get(), pairs);
+        prop_assert!(stats.stuck_tasks.is_empty());
+    }
+
+    /// Determinism as a property: any workload shape produces the same
+    /// stats twice.
+    #[test]
+    fn determinism(
+        tasks in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let sim = SimBuilder::new().seed(seed).build();
+            let w = Rc::new(SimWord::new(&sim, 0));
+            for i in 0..tasks {
+                let w = Rc::clone(&w);
+                sim.spawn_on(CpuId((i as u32 * 11) % 80), move |t| async move {
+                    for _ in 0..20 {
+                        let v = w.fetch_add(&t, 1).await;
+                        t.advance(v % 37 + t.rng_u64() % 91).await;
+                    }
+                });
+            }
+            sim.run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,286 @@
+//! Patch transactions: grouped replacements with LIFO stacking and revert.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::patchpoint::PatchPoint;
+
+/// Errors from the patch manager.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatchError {
+    /// Attempted to revert a patch that is not on top of the stack
+    /// (the kernel's livepatch stack has the same restriction).
+    NotOnTop,
+    /// The handle does not name a live patch.
+    UnknownPatch,
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::NotOnTop => write!(f, "patch is not on top of the stack"),
+            PatchError::UnknownPatch => write!(f, "no such applied patch"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+struct PatchOp {
+    apply: Box<dyn Fn() + Send + Sync>,
+    revert: Box<dyn Fn() + Send + Sync>,
+}
+
+/// A to-be-applied patch: a named set of slot replacements.
+///
+/// # Examples
+///
+/// ```
+/// use livepatch::{Patch, PatchManager, PatchPoint};
+/// use std::sync::Arc;
+///
+/// let point = Arc::new(PatchPoint::new(10u32));
+/// let mgr = PatchManager::new();
+/// let mut patch = Patch::new("raise");
+/// patch.swap(&point, 20, 10);
+/// let h = mgr.apply(patch);
+/// assert_eq!(*point.get(), 20);
+/// mgr.revert(h).unwrap();
+/// assert_eq!(*point.get(), 10);
+/// ```
+pub struct Patch {
+    name: String,
+    ops: Vec<PatchOp>,
+}
+
+impl Patch {
+    /// Starts an empty patch.
+    pub fn new(name: impl Into<String>) -> Self {
+        Patch {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The patch name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sites this patch touches.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the patch touches no sites.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Adds a replacement of `point`'s value with `new`; `restore` is
+    /// installed on revert.
+    pub fn swap<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        point: &Arc<PatchPoint<T>>,
+        new: T,
+        restore: T,
+    ) -> &mut Self {
+        let p1 = Arc::clone(point);
+        let p2 = Arc::clone(point);
+        self.ops.push(PatchOp {
+            apply: Box::new(move || p1.replace(new.clone())),
+            revert: Box::new(move || p2.replace(restore.clone())),
+        });
+        self
+    }
+
+    /// Adds arbitrary apply/revert actions (e.g. shadow-variable setup).
+    pub fn action(
+        &mut self,
+        apply: impl Fn() + Send + Sync + 'static,
+        revert: impl Fn() + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.ops.push(PatchOp {
+            apply: Box::new(apply),
+            revert: Box::new(revert),
+        });
+        self
+    }
+}
+
+/// Handle to an applied patch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PatchHandle(u64);
+
+struct Applied {
+    id: u64,
+    name: String,
+    ops: Vec<PatchOp>,
+}
+
+/// Applies patches and enforces stack-ordered (LIFO) revert.
+#[derive(Default)]
+pub struct PatchManager {
+    stack: Mutex<Vec<Applied>>,
+    next_id: Mutex<u64>,
+}
+
+impl PatchManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        PatchManager::default()
+    }
+
+    /// Applies all of `patch`'s replacements, in order, and pushes it on
+    /// the stack.
+    pub fn apply(&self, patch: Patch) -> PatchHandle {
+        for op in &patch.ops {
+            (op.apply)();
+        }
+        let id = {
+            let mut next = self.next_id.lock();
+            *next += 1;
+            *next
+        };
+        self.stack.lock().push(Applied {
+            id,
+            name: patch.name,
+            ops: patch.ops,
+        });
+        PatchHandle(id)
+    }
+
+    /// Reverts the patch named by `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::NotOnTop`] when other patches were applied on
+    /// top of it, and [`PatchError::UnknownPatch`] when it is not live.
+    pub fn revert(&self, handle: PatchHandle) -> Result<(), PatchError> {
+        let mut stack = self.stack.lock();
+        match stack.last() {
+            Some(top) if top.id == handle.0 => {
+                let applied = stack.pop().expect("checked non-empty");
+                drop(stack);
+                // Revert sites in reverse apply order.
+                for op in applied.ops.iter().rev() {
+                    (op.revert)();
+                }
+                Ok(())
+            }
+            _ => {
+                if stack.iter().any(|p| p.id == handle.0) {
+                    Err(PatchError::NotOnTop)
+                } else {
+                    Err(PatchError::UnknownPatch)
+                }
+            }
+        }
+    }
+
+    /// Reverts the top patch, if any; returns its name.
+    pub fn revert_top(&self) -> Option<String> {
+        let handle = {
+            let stack = self.stack.lock();
+            stack.last().map(|p| (PatchHandle(p.id), p.name.clone()))
+        };
+        let (h, name) = handle?;
+        self.revert(h).expect("top patch revert cannot fail");
+        Some(name)
+    }
+
+    /// Names of live patches, bottom to top.
+    pub fn live(&self) -> Vec<String> {
+        self.stack.lock().iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_and_revert_roundtrip() {
+        let a = Arc::new(PatchPoint::new(1u32));
+        let b = Arc::new(PatchPoint::new(10u32));
+        let mgr = PatchManager::new();
+        let mut p = Patch::new("both");
+        p.swap(&a, 2, 1).swap(&b, 20, 10);
+        assert_eq!(p.len(), 2);
+        let h = mgr.apply(p);
+        assert_eq!(*a.get(), 2);
+        assert_eq!(*b.get(), 20);
+        assert_eq!(mgr.live(), vec!["both"]);
+        mgr.revert(h).unwrap();
+        assert_eq!(*a.get(), 1);
+        assert_eq!(*b.get(), 10);
+        assert!(mgr.live().is_empty());
+    }
+
+    #[test]
+    fn lifo_discipline_enforced() {
+        let x = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        let mut p1 = Patch::new("p1");
+        p1.swap(&x, 1, 0);
+        let mut p2 = Patch::new("p2");
+        p2.swap(&x, 2, 1);
+        let h1 = mgr.apply(p1);
+        let h2 = mgr.apply(p2);
+        assert_eq!(*x.get(), 2);
+        assert_eq!(mgr.revert(h1), Err(PatchError::NotOnTop));
+        mgr.revert(h2).unwrap();
+        mgr.revert(h1).unwrap();
+        assert_eq!(*x.get(), 0);
+        assert_eq!(mgr.revert(h1), Err(PatchError::UnknownPatch));
+    }
+
+    #[test]
+    fn revert_top_pops_in_order() {
+        let x = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        for i in 1..=3u32 {
+            let mut p = Patch::new(format!("p{i}"));
+            p.swap(&x, i, i - 1);
+            mgr.apply(p);
+        }
+        assert_eq!(*x.get(), 3);
+        assert_eq!(mgr.revert_top().as_deref(), Some("p3"));
+        assert_eq!(mgr.revert_top().as_deref(), Some("p2"));
+        assert_eq!(*x.get(), 1);
+        assert_eq!(mgr.revert_top().as_deref(), Some("p1"));
+        assert_eq!(mgr.revert_top(), None);
+    }
+
+    #[test]
+    fn custom_actions_run_in_both_directions() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counter = Arc::new(AtomicU32::new(0));
+        let (c1, c2) = (Arc::clone(&counter), Arc::clone(&counter));
+        let mgr = PatchManager::new();
+        let mut p = Patch::new("acts");
+        p.action(
+            move || {
+                c1.fetch_add(1, Ordering::SeqCst);
+            },
+            move || {
+                c2.fetch_add(100, Ordering::SeqCst);
+            },
+        );
+        let h = mgr.apply(p);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        mgr.revert(h).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 101);
+    }
+
+    #[test]
+    fn empty_patch_is_fine() {
+        let mgr = PatchManager::new();
+        let p = Patch::new("empty");
+        assert!(p.is_empty());
+        let h = mgr.apply(p);
+        mgr.revert(h).unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! Shadow variables: out-of-band per-object data.
+//!
+//! The kernel livepatch "shadow variable" API (`klp_shadow_get_or_alloc`
+//! and friends) lets a patch attach new fields to existing objects without
+//! changing their layout. The paper relies on this to extend queue-lock
+//! node structures with policy-specific state (§4.2). Keys are
+//! `(object address, shadow id)` pairs; values are type-erased and checked
+//! on access.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A store of `(object, id) → value` shadow attachments.
+///
+/// # Examples
+///
+/// ```
+/// use livepatch::ShadowStore;
+///
+/// let store = ShadowStore::new();
+/// let obj = 0x1000usize; // Any stable object identifier.
+/// let v = store.get_or_alloc(obj, 1, || 42u64);
+/// assert_eq!(*v, 42);
+/// assert_eq!(store.get::<u64>(obj, 1).as_deref(), Some(&42));
+/// store.detach(obj, 1);
+/// assert!(store.get::<u64>(obj, 1).is_none());
+/// ```
+#[derive(Default)]
+pub struct ShadowStore {
+    map: RwLock<HashMap<(usize, u64), Arc<dyn Any + Send + Sync>>>,
+}
+
+impl ShadowStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ShadowStore::default()
+    }
+
+    /// Returns the shadow value for `(obj, id)`, allocating it with `init`
+    /// if absent (the `klp_shadow_get_or_alloc` analog).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the existing value has a different type than `T` — a
+    /// patch-authoring bug, matching the kernel's WARN-and-fail.
+    pub fn get_or_alloc<T: Send + Sync + 'static>(
+        &self,
+        obj: usize,
+        id: u64,
+        init: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        if let Some(v) = self.get::<T>(obj, id) {
+            return v;
+        }
+        let mut map = self.map.write();
+        let entry = map
+            .entry((obj, id))
+            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("shadow ({obj:#x}, {id}) exists with another type"))
+    }
+
+    /// Returns the shadow value if present and of type `T`.
+    pub fn get<T: Send + Sync + 'static>(&self, obj: usize, id: u64) -> Option<Arc<T>> {
+        self.map
+            .read()
+            .get(&(obj, id))
+            .cloned()
+            .and_then(|v| v.downcast::<T>().ok())
+    }
+
+    /// Detaches the shadow value for `(obj, id)`; returns true if it
+    /// existed (the `klp_shadow_free` analog).
+    pub fn detach(&self, obj: usize, id: u64) -> bool {
+        self.map.write().remove(&(obj, id)).is_some()
+    }
+
+    /// Detaches every object's shadow value with the given id
+    /// (the `klp_shadow_free_all` analog); returns how many were removed.
+    pub fn detach_all(&self, id: u64) -> usize {
+        let mut map = self.map.write();
+        let before = map.len();
+        map.retain(|(_, i), _| *i != id);
+        before - map.len()
+    }
+
+    /// Number of live attachments.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no attachments exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn alloc_once_then_reuse() {
+        let s = ShadowStore::new();
+        let mut calls = 0;
+        let a = s.get_or_alloc(1, 7, || {
+            calls += 1;
+            String::from("x")
+        });
+        let b = s.get_or_alloc(1, 7, || {
+            calls += 1;
+            String::from("y")
+        });
+        assert_eq!(calls, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn keys_are_object_and_id() {
+        let s = ShadowStore::new();
+        s.get_or_alloc(1, 1, || 10u32);
+        s.get_or_alloc(1, 2, || 20u32);
+        s.get_or_alloc(2, 1, || 30u32);
+        assert_eq!(s.get::<u32>(1, 1).as_deref(), Some(&10));
+        assert_eq!(s.get::<u32>(1, 2).as_deref(), Some(&20));
+        assert_eq!(s.get::<u32>(2, 1).as_deref(), Some(&30));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn wrong_type_get_returns_none() {
+        let s = ShadowStore::new();
+        s.get_or_alloc(1, 1, || 10u32);
+        assert!(s.get::<u64>(1, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn wrong_type_alloc_panics() {
+        let s = ShadowStore::new();
+        s.get_or_alloc(1, 1, || 10u32);
+        s.get_or_alloc(1, 1, || 10u64);
+    }
+
+    #[test]
+    fn detach_and_detach_all() {
+        let s = ShadowStore::new();
+        for obj in 0..4usize {
+            s.get_or_alloc(obj, 1, || 0u8);
+            s.get_or_alloc(obj, 2, || 0u8);
+        }
+        assert!(s.detach(0, 1));
+        assert!(!s.detach(0, 1));
+        assert_eq!(s.detach_all(2), 4);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn shared_counters_are_usable_concurrently() {
+        let s = Arc::new(ShadowStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let c = s.get_or_alloc(i % 8, 42, || AtomicU64::new(0));
+                    c.fetch_add(1, Ordering::Relaxed);
+                    let _ = t;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = (0..8)
+            .map(|i| s.get::<AtomicU64>(i, 42).unwrap().load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total, 400);
+    }
+}

@@ -1,0 +1,187 @@
+//! CLH queue lock.
+//!
+//! Implicit-queue cousin of MCS: each waiter spins on its *predecessor's*
+//! node flag. Included as the second classic queue baseline ([41] in the
+//! paper's history of scalable locks).
+//!
+//! Node reclamation uses epoch GC: `try_acquire` must dereference the tail
+//! node, which a successor may free concurrently; an epoch pin makes that
+//! dereference safe and rules out CAS ABA through address reuse.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+
+use crate::backoff::Backoff;
+use crate::raw::RawLock;
+
+struct Node {
+    locked: AtomicBool,
+}
+
+/// The CLH lock.
+pub struct ClhLock {
+    tail: Atomic<Node>,
+    /// Predecessor node of the holder, freed on release.
+    pred: AtomicPtr<Node>,
+    /// The holder's own node, inherited by the successor.
+    holder: AtomicPtr<Node>,
+}
+
+// SAFETY: nodes move between threads only via the atomics below, and
+// reclamation is epoch-deferred.
+unsafe impl Send for ClhLock {}
+// SAFETY: see above.
+unsafe impl Sync for ClhLock {}
+
+impl ClhLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        // The queue starts with one released sentinel node.
+        ClhLock {
+            tail: Atomic::new(Node {
+                locked: AtomicBool::new(false),
+            }),
+            pred: AtomicPtr::new(std::ptr::null_mut()),
+            holder: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        ClhLock::new()
+    }
+}
+
+impl Drop for ClhLock {
+    fn drop(&mut self) {
+        // SAFETY: with `&mut self` no thread is queued; the tail is the
+        // final sentinel owned solely by the lock.
+        unsafe {
+            let guard = epoch::unprotected();
+            let tail = self.tail.load(Ordering::Relaxed, guard);
+            if !tail.is_null() {
+                drop(tail.into_owned());
+            }
+        }
+    }
+}
+
+impl RawLock for ClhLock {
+    fn acquire(&self) {
+        let guard = epoch::pin();
+        let node = Owned::new(Node {
+            locked: AtomicBool::new(true),
+        })
+        .into_shared(&guard);
+        let pred = self.tail.swap(node, Ordering::AcqRel, &guard);
+        let pred_ptr = pred.as_raw() as *mut Node;
+        let node_ptr = node.as_raw() as *mut Node;
+        drop(guard);
+        // SAFETY: only the successor of `pred` (us) schedules its
+        // destruction, so it remains valid for the whole spin.
+        let mut backoff = Backoff::new();
+        while unsafe { (*pred_ptr).locked.load(Ordering::Acquire) } {
+            backoff.snooze();
+        }
+        self.pred.store(pred_ptr, Ordering::Relaxed);
+        self.holder.store(node_ptr, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        let node = self.holder.load(Ordering::Relaxed);
+        let pred = self.pred.load(Ordering::Relaxed);
+        assert!(!node.is_null(), "release of unheld CLH lock");
+        self.holder.store(std::ptr::null_mut(), Ordering::Relaxed);
+        self.pred.store(std::ptr::null_mut(), Ordering::Relaxed);
+        let guard = epoch::pin();
+        // SAFETY: `pred` was unlinked when we consumed its release; we are
+        // the only thread holding it, and stragglers inside `try_acquire`
+        // are fenced off by their epoch pins.
+        unsafe {
+            guard.defer_destroy(Shared::from(pred as *const Node));
+            // Handing our node to the successor also transfers the duty to
+            // free it.
+            (*node).locked.store(false, Ordering::Release);
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        let guard = epoch::pin();
+        let tail = self.tail.load(Ordering::Acquire, &guard);
+        // SAFETY: the pin keeps `tail` alive even if its successor frees it
+        // concurrently, and prevents address reuse (ABA) before our CAS.
+        if unsafe { tail.deref() }.locked.load(Ordering::Acquire) {
+            return false;
+        }
+        let node = Owned::new(Node {
+            locked: AtomicBool::new(true),
+        });
+        match self
+            .tail
+            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire, &guard)
+        {
+            Ok(new) => {
+                self.pred
+                    .store(tail.as_raw() as *mut Node, Ordering::Relaxed);
+                self.holder
+                    .store(new.as_raw() as *mut Node, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::testutil::mutex_stress;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let l = ClhLock::new();
+        {
+            let _g = l.lock();
+            assert!(l.try_lock().is_none());
+        }
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn stress_mutual_exclusion() {
+        mutex_stress(ClhLock::new(), 8, 2_000);
+    }
+
+    #[test]
+    fn try_lock_contention_stress() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let lock = Arc::new(ClhLock::new());
+        let acquired = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (l, a) = (Arc::clone(&lock), Arc::clone(&acquired));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    if let Some(_g) = l.try_lock() {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(acquired.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn sequential_reacquisition() {
+        let l = ClhLock::new();
+        for _ in 0..10_000 {
+            let _g = l.lock();
+        }
+    }
+}

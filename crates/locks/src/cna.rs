@@ -1,0 +1,334 @@
+//! Compact NUMA-aware lock (CNA).
+//!
+//! Dice & Kogan, *Compact NUMA-aware Locks* (EuroSys '19) — referenced by
+//! the paper as the fix for hierarchical locks' memory overhead. The lock
+//! is an MCS queue whose *holder*, on release, prefers a waiter from its
+//! own socket: remote waiters scanned over are parked on a secondary queue
+//! and spliced back periodically for long-term fairness.
+//!
+//! The secondary queue head/tail live in the lock and are touched only by
+//! the current holder, which keeps the queue surgery single-writer.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
+
+use crate::backoff::Backoff;
+use crate::raw::RawLock;
+use crate::topo;
+
+/// Local handoffs before fairness forces a splice of the secondary queue.
+const MAX_LOCAL_HANDOFFS: u32 = 64;
+
+struct Node {
+    next: AtomicPtr<Node>,
+    /// 0 while waiting; 1 when granted the lock.
+    spin: AtomicUsize,
+    socket: u32,
+}
+
+/// The CNA lock.
+#[derive(Default)]
+pub struct CnaLock {
+    tail: AtomicPtr<Node>,
+    holder: AtomicPtr<Node>,
+    sec_head: AtomicPtr<Node>,
+    sec_tail: AtomicPtr<Node>,
+    local_streak: AtomicU32,
+}
+
+// SAFETY: queue nodes are shared only through the atomics above; interior
+// `next` rewiring is done exclusively by the lock holder.
+unsafe impl Send for CnaLock {}
+// SAFETY: see above.
+unsafe impl Sync for CnaLock {}
+
+impl CnaLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        CnaLock::default()
+    }
+
+    /// Appends a fully linked segment `[head, tail]` to the secondary
+    /// queue. Caller must be the lock holder.
+    ///
+    /// # Safety
+    ///
+    /// `head`/`tail` must form a linked segment of live nodes that has been
+    /// unlinked from the main queue.
+    unsafe fn sec_append(&self, head: *mut Node, tail: *mut Node) {
+        // SAFETY: holder-only access per the caller contract.
+        unsafe {
+            (*tail).next.store(ptr::null_mut(), Ordering::Relaxed);
+            let old_tail = self.sec_tail.load(Ordering::Relaxed);
+            if old_tail.is_null() {
+                self.sec_head.store(head, Ordering::Relaxed);
+            } else {
+                (*old_tail).next.store(head, Ordering::Relaxed);
+            }
+            self.sec_tail.store(tail, Ordering::Relaxed);
+        }
+    }
+
+    /// Detaches the whole secondary queue; returns `(head, tail)` or null.
+    fn sec_take(&self) -> (*mut Node, *mut Node) {
+        let h = self.sec_head.load(Ordering::Relaxed);
+        let t = self.sec_tail.load(Ordering::Relaxed);
+        self.sec_head.store(ptr::null_mut(), Ordering::Relaxed);
+        self.sec_tail.store(ptr::null_mut(), Ordering::Relaxed);
+        (h, t)
+    }
+
+    /// Spins until our successor link becomes visible (an enqueuer swapped
+    /// the tail but has not linked yet).
+    ///
+    /// # Safety
+    ///
+    /// `node` must be the holder's node and the tail must have moved past it.
+    unsafe fn spin_for_successor(&self, node: *mut Node) -> *mut Node {
+        let mut backoff = Backoff::new();
+        loop {
+            // SAFETY: `node` is ours until freed by the caller.
+            let next = unsafe { (*node).next.load(Ordering::Acquire) };
+            if !next.is_null() {
+                return next;
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+impl RawLock for CnaLock {
+    fn acquire(&self) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            spin: AtomicUsize::new(0),
+            socket: topo::current_socket(),
+        }));
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` is alive until its owner hands off, which
+            // requires our link below.
+            unsafe {
+                (*prev).next.store(node, Ordering::Release);
+            }
+            let mut backoff = Backoff::new();
+            // SAFETY: our node; freed only after release.
+            while unsafe { (*node).spin.load(Ordering::Acquire) } == 0 {
+                backoff.snooze();
+            }
+        }
+        self.holder.store(node, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        let node = self.holder.load(Ordering::Relaxed);
+        assert!(!node.is_null(), "release of unheld CNA lock");
+        self.holder.store(ptr::null_mut(), Ordering::Relaxed);
+
+        // SAFETY: `node` is the holder's node; successors are live waiters.
+        unsafe {
+            let mut succ = (*node).next.load(Ordering::Acquire);
+            if succ.is_null() {
+                let sh = self.sec_head.load(Ordering::Relaxed);
+                let st = self.sec_tail.load(Ordering::Relaxed);
+                if sh.is_null() {
+                    // Empty everywhere: try to free the lock outright.
+                    if self
+                        .tail
+                        .compare_exchange(
+                            node,
+                            ptr::null_mut(),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        drop(Box::from_raw(node));
+                        return;
+                    }
+                    // An enqueuer beat us; fall through with its node.
+                    succ = self.spin_for_successor(node);
+                } else {
+                    // Drain the secondary queue. If the main queue is empty
+                    // the drained chain *becomes* the main queue, so its
+                    // tail must be installed as the lock tail.
+                    self.local_streak.store(0, Ordering::Relaxed);
+                    if self
+                        .tail
+                        .compare_exchange(node, st, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.sec_take();
+                        (*sh).spin.store(1, Ordering::Release);
+                        drop(Box::from_raw(node));
+                        return;
+                    }
+                    // An enqueuer appended behind us: link the drained
+                    // chain ahead of it.
+                    let succ = self.spin_for_successor(node);
+                    self.sec_take();
+                    (*st).next.store(succ, Ordering::Relaxed);
+                    (*sh).spin.store(1, Ordering::Release);
+                    drop(Box::from_raw(node));
+                    return;
+                }
+            }
+
+            let my_socket = (*node).socket;
+            let streak = self.local_streak.load(Ordering::Relaxed);
+            let force_fair = streak >= MAX_LOCAL_HANDOFFS;
+
+            if !force_fair {
+                // Scan for the first same-socket waiter; the scan stops at
+                // any node whose `next` is not yet linked (possible tail).
+                let mut local = ptr::null_mut();
+                let mut local_pred = ptr::null_mut();
+                let mut pred = node;
+                let mut curr = succ;
+                loop {
+                    if (*curr).socket == my_socket {
+                        local = curr;
+                        local_pred = pred;
+                        break;
+                    }
+                    let next = (*curr).next.load(Ordering::Acquire);
+                    if next.is_null() {
+                        break;
+                    }
+                    pred = curr;
+                    curr = next;
+                }
+                if !local.is_null() {
+                    if local != succ {
+                        // Move the remote prefix [succ, local_pred] aside.
+                        self.sec_append(succ, local_pred);
+                    }
+                    self.local_streak.store(streak + 1, Ordering::Relaxed);
+                    (*local).spin.store(1, Ordering::Release);
+                    drop(Box::from_raw(node));
+                    return;
+                }
+            }
+
+            // Fairness path (or no local waiter): put the secondary queue
+            // ahead of the remaining main queue.
+            let (sh, st) = self.sec_take();
+            self.local_streak.store(0, Ordering::Relaxed);
+            if sh.is_null() {
+                (*succ).spin.store(1, Ordering::Release);
+            } else {
+                (*st).next.store(succ, Ordering::Relaxed);
+                (*sh).spin.store(1, Ordering::Release);
+            }
+            drop(Box::from_raw(node));
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        if !self.tail.load(Ordering::Relaxed).is_null() {
+            return false;
+        }
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            spin: AtomicUsize::new(0),
+            socket: topo::current_socket(),
+        }));
+        if self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.holder.store(node, Ordering::Relaxed);
+            true
+        } else {
+            // SAFETY: never published.
+            unsafe {
+                drop(Box::from_raw(node));
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::testutil::mutex_stress;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let l = CnaLock::new();
+        {
+            let _g = l.lock();
+            assert!(l.try_lock().is_none());
+        }
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn stress_mutual_exclusion_same_socket() {
+        mutex_stress(CnaLock::new(), 8, 2_000);
+    }
+
+    #[test]
+    fn stress_mutual_exclusion_across_sockets() {
+        // `mutex_stress` pins thread t to virtual cpu t; spread them instead
+        // so sockets differ (10 cores per socket by default).
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let lock = Arc::new(CnaLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let (l, c) = (Arc::clone(&lock), Arc::clone(&counter));
+            handles.push(std::thread::spawn(move || {
+                topo::pin_thread(t * 10); // Sockets 0..8.
+                for _ in 0..2_000 {
+                    let _g = l.lock();
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16_000);
+    }
+
+    #[test]
+    fn secondary_queue_waiters_are_not_starved() {
+        // Two sockets; socket-0 threads hammer the lock while one socket-1
+        // thread must still make progress within the fairness bound.
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+        let lock = Arc::new(CnaLock::new());
+        let remote_done = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut locals = Vec::new();
+        for t in 0..3u32 {
+            let (l, s) = (Arc::clone(&lock), Arc::clone(&stop));
+            locals.push(std::thread::spawn(move || {
+                topo::pin_thread(t);
+                while s.load(Ordering::Relaxed) == 0 {
+                    let _g = l.lock();
+                }
+            }));
+        }
+        let remote = {
+            let (l, d) = (Arc::clone(&lock), Arc::clone(&remote_done));
+            std::thread::spawn(move || {
+                topo::pin_thread(15); // Socket 1.
+                for _ in 0..200 {
+                    let _g = l.lock();
+                    d.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        remote.join().unwrap();
+        stop.store(1, Ordering::Relaxed);
+        for h in locals {
+            h.join().unwrap();
+        }
+        assert_eq!(remote_done.load(Ordering::Relaxed), 200);
+    }
+}

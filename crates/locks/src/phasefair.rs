@@ -1,0 +1,255 @@
+//! Phase-fair readers-writer lock (PF-T).
+//!
+//! Brandenburg & Anderson, *Spin-based reader-writer synchronization for
+//! multiprocessor real-time systems* — the algorithm the paper's
+//! "Realtime scheduling" use case (§3.1.2) builds lock policies on: reader
+//! and writer *phases* alternate, so a reader waits for at most one writer
+//! phase and a writer for at most one reader phase, giving the bounded
+//! (O(1)-phase) worst-case blocking that tail-latency SLOs need.
+//!
+//! Ticket formulation: `win`/`wout` serialize writers; `rin`/`rout` count
+//! reader entries in the high bits while the low bits of `rin` publish the
+//! presence and phase-id of a waiting/active writer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backoff::Backoff;
+use crate::raw::RawRwLock;
+
+/// Reader tickets live above the writer bits.
+const RINC: u64 = 0x100;
+/// Writer-present flag.
+const PRES: u64 = 0x2;
+/// Writer phase id (alternates per writer).
+const PHID: u64 = 0x1;
+/// Both writer bits.
+const WBITS: u64 = PRES | PHID;
+
+/// The phase-fair rwlock.
+#[derive(Default)]
+pub struct PhaseFairRwLock {
+    rin: AtomicU64,
+    rout: AtomicU64,
+    win: AtomicU64,
+    wout: AtomicU64,
+}
+
+impl PhaseFairRwLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        PhaseFairRwLock::default()
+    }
+
+    /// Number of completed writer phases (statistics).
+    pub fn writer_phases(&self) -> u64 {
+        self.wout.load(Ordering::Relaxed)
+    }
+}
+
+impl RawRwLock for PhaseFairRwLock {
+    fn read_acquire(&self) {
+        let w = self.rin.fetch_add(RINC, Ordering::AcqRel) & WBITS;
+        if w != 0 {
+            // A writer is present: wait for *its* phase to end. We do not
+            // wait for the writer bits to clear entirely — the next writer
+            // has a different phase id, so a reader blocked behind writer
+            // k is admitted before writer k+1 finishes. That is the
+            // phase-fair guarantee.
+            let mut backoff = Backoff::new();
+            while self.rin.load(Ordering::Acquire) & WBITS == w {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn read_release(&self) {
+        self.rout.fetch_add(RINC, Ordering::AcqRel);
+    }
+
+    fn write_acquire(&self) {
+        // Serialize writers by ticket.
+        let ticket = self.win.fetch_add(1, Ordering::AcqRel);
+        let mut backoff = Backoff::new();
+        while self.wout.load(Ordering::Acquire) != ticket {
+            backoff.snooze();
+        }
+        // Publish presence + phase; snapshot the reader entry count.
+        let w = PRES | (ticket & PHID);
+        let entered = self.rin.fetch_add(w, Ordering::AcqRel) & !WBITS;
+        // Wait for the readers that entered before us to leave.
+        backoff.reset();
+        while self.rout.load(Ordering::Acquire) != entered {
+            backoff.snooze();
+        }
+    }
+
+    fn write_release(&self) {
+        // Clear the writer bits (readers blocked on our phase proceed),
+        // then admit the next writer.
+        self.rin.fetch_and(!WBITS, Ordering::AcqRel);
+        self.wout.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn try_read_acquire(&self) -> bool {
+        let cur = self.rin.load(Ordering::Acquire);
+        if cur & WBITS != 0 {
+            return false;
+        }
+        self.rin
+            .compare_exchange(cur, cur + RINC, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn try_write_acquire(&self) -> bool {
+        let ticket = self.win.load(Ordering::Acquire);
+        if self.wout.load(Ordering::Acquire) != ticket {
+            return false;
+        }
+        // Readers must all have left, and we must win the writer ticket.
+        if self.rin.load(Ordering::Acquire) & !WBITS != self.rout.load(Ordering::Acquire) {
+            return false;
+        }
+        if self
+            .win
+            .compare_exchange(ticket, ticket + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        // We hold the writer ticket; re-run the entry protocol parts that
+        // cannot fail (readers may have raced in — wait them out, which
+        // keeps try_write a bounded spin rather than lock-free; acceptable
+        // for a trylock used on mostly-idle locks).
+        let w = PRES | (ticket & PHID);
+        let entered = self.rin.fetch_add(w, Ordering::AcqRel) & !WBITS;
+        let mut backoff = Backoff::new();
+        while self.rout.load(Ordering::Acquire) != entered {
+            backoff.snooze();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = PhaseFairRwLock::new();
+        let r1 = l.read();
+        let r2 = l.read();
+        assert!(!l.try_write_acquire());
+        drop(r1);
+        drop(r2);
+        let w = l.write();
+        assert!(!l.try_read_acquire());
+        drop(w);
+        assert!(l.try_read_acquire());
+        l.read_release();
+        assert!(l.try_write_acquire());
+        l.write_release();
+        assert_eq!(l.writer_phases(), 2);
+    }
+
+    #[test]
+    fn stress_consistency() {
+        struct Shared {
+            lock: PhaseFairRwLock,
+            pair: UnsafeCell<(u64, u64)>,
+        }
+        // SAFETY: the pair is written under the write lock and read under
+        // the read lock; this test is the assertion of that.
+        unsafe impl Sync for Shared {}
+
+        let s = Arc::new(Shared {
+            lock: PhaseFairRwLock::new(),
+            pair: UnsafeCell::new((0, 0)),
+        });
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    if t < 2 {
+                        let _g = s.lock.write();
+                        // SAFETY: exclusive under write lock.
+                        unsafe {
+                            let p = &mut *s.pair.get();
+                            p.0 += 1;
+                            p.1 += 1;
+                        }
+                    } else {
+                        let _g = s.lock.read();
+                        // SAFETY: shared under read lock.
+                        let p = unsafe { *s.pair.get() };
+                        assert_eq!(p.0, p.1);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: joined.
+        assert_eq!(unsafe { *s.pair.get() }.0, 4_000);
+    }
+
+    #[test]
+    fn reader_not_starved_by_writer_stream() {
+        // Phase fairness: with writers continuously queued, a reader still
+        // gets in after at most one writer phase.
+        let l = Arc::new(PhaseFairRwLock::new());
+        let stop = Arc::new(AtomicU32::new(0));
+        let mut writers = Vec::new();
+        for _ in 0..2 {
+            let (l, s) = (Arc::clone(&l), Arc::clone(&stop));
+            writers.push(std::thread::spawn(move || {
+                while s.load(Ordering::Relaxed) == 0 {
+                    let _g = l.write();
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        // The reader must make progress while writers hammer the lock.
+        let mut reads = 0;
+        for _ in 0..2_000 {
+            let _g = l.read();
+            reads += 1;
+        }
+        stop.store(1, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(reads, 2_000);
+    }
+
+    #[test]
+    fn writer_not_starved_by_reader_stream() {
+        let l = Arc::new(PhaseFairRwLock::new());
+        let stop = Arc::new(AtomicU32::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let (l, s) = (Arc::clone(&l), Arc::clone(&stop));
+            readers.push(std::thread::spawn(move || {
+                while s.load(Ordering::Relaxed) == 0 {
+                    let _g = l.read();
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        let mut writes = 0;
+        for _ in 0..500 {
+            let _g = l.write();
+            writes += 1;
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(writes, 500);
+    }
+}

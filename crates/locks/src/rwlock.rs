@@ -1,0 +1,197 @@
+//! Neutral readers-writer lock (the "Stock" baseline).
+//!
+//! A fair-leaning, writer-preference spinning rwlock in the style of Linux's
+//! `qrwlock`/`rwsem` fast path: a single word holds the reader count, a
+//! writer bit and a writer-waiting bit. A waiting writer blocks new readers,
+//! preventing writer starvation — the "neutral readers-writer lock design"
+//! the paper's lock-switching use case starts from (§3.1.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::backoff::Backoff;
+use crate::raw::RawRwLock;
+
+const WRITER: u64 = 1;
+const WRITER_WAITING: u64 = 2;
+const READER_UNIT: u64 = 4;
+
+/// The neutral rwlock.
+#[derive(Default)]
+pub struct NeutralRwLock {
+    word: AtomicU64,
+}
+
+impl NeutralRwLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        NeutralRwLock::default()
+    }
+
+    /// Current reader count (profiling only).
+    pub fn readers(&self) -> u64 {
+        self.word.load(Ordering::Relaxed) / READER_UNIT
+    }
+
+    /// True while a writer holds the lock (profiling only).
+    pub fn write_locked(&self) -> bool {
+        self.word.load(Ordering::Relaxed) & WRITER != 0
+    }
+}
+
+impl RawRwLock for NeutralRwLock {
+    fn read_acquire(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            let w = self.word.load(Ordering::Relaxed);
+            // Writer preference: stall behind both held and waiting writers.
+            if w & (WRITER | WRITER_WAITING) == 0
+                && self
+                    .word
+                    .compare_exchange_weak(w, w + READER_UNIT, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn read_release(&self) {
+        let old = self.word.fetch_sub(READER_UNIT, Ordering::Release);
+        debug_assert!(old >= READER_UNIT, "read_release without readers");
+    }
+
+    fn write_acquire(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            let w = self.word.load(Ordering::Relaxed);
+            if w & !WRITER_WAITING == 0 {
+                // Free (readers gone, no writer): claim, clearing the
+                // waiting bit we may have set.
+                if self
+                    .word
+                    .compare_exchange_weak(w, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return;
+                }
+            } else if w & WRITER_WAITING == 0 {
+                // Announce intent so new readers stall.
+                let _ = self.word.compare_exchange_weak(
+                    w,
+                    w | WRITER_WAITING,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn write_release(&self) {
+        debug_assert!(self.write_locked(), "write_release without writer");
+        self.word.fetch_and(!WRITER, Ordering::Release);
+    }
+
+    fn try_read_acquire(&self) -> bool {
+        let w = self.word.load(Ordering::Relaxed);
+        w & (WRITER | WRITER_WAITING) == 0
+            && self
+                .word
+                .compare_exchange(w, w + READER_UNIT, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    fn try_write_acquire(&self) -> bool {
+        let w = self.word.load(Ordering::Relaxed);
+        w & !WRITER_WAITING == 0
+            && self
+                .word
+                .compare_exchange(w, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = NeutralRwLock::new();
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(l.readers(), 2);
+        assert!(!l.try_write_acquire());
+        drop(r1);
+        drop(r2);
+        let w = l.write();
+        assert!(!l.try_read_acquire());
+        assert!(!l.try_write_acquire());
+        drop(w);
+        assert!(l.try_read_acquire());
+        l.read_release();
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let l = NeutralRwLock::new();
+        let r = l.read();
+        // Simulate a writer announcing intent.
+        l.word.fetch_or(WRITER_WAITING, Ordering::Relaxed);
+        assert!(!l.try_read_acquire());
+        l.word.fetch_and(!WRITER_WAITING, Ordering::Relaxed);
+        drop(r);
+    }
+
+    #[test]
+    fn stress_counter_consistency() {
+        struct Shared {
+            lock: NeutralRwLock,
+            value: std::cell::UnsafeCell<(u64, u64)>,
+        }
+        // SAFETY: the pair is written only under the write lock and read
+        // only under the read lock; the test verifies exactly that.
+        unsafe impl Sync for Shared {}
+
+        let s = Arc::new(Shared {
+            lock: NeutralRwLock::new(),
+            value: std::cell::UnsafeCell::new((0, 0)),
+        });
+        let reads = Arc::new(Counter::new(0));
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let s = Arc::clone(&s);
+            let reads = Arc::clone(&reads);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    if t < 2 {
+                        let _g = s.lock.write();
+                        // SAFETY: exclusive under the write lock.
+                        unsafe {
+                            let v = &mut *s.value.get();
+                            v.0 += 1;
+                            v.1 += 1;
+                        }
+                    } else {
+                        let _g = s.lock.read();
+                        // SAFETY: shared under the read lock; writers are
+                        // excluded, so the two halves must agree.
+                        let v = unsafe { *s.value.get() };
+                        assert_eq!(v.0, v.1, "torn read at iter {i}");
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: all threads joined.
+        let v = unsafe { *s.value.get() };
+        assert_eq!(v.0, 6_000);
+        assert_eq!(reads.load(Ordering::Relaxed), 12_000);
+    }
+}

@@ -1,0 +1,361 @@
+//! Blocking shuffle lock: spin-then-park with a policy-driven strategy.
+//!
+//! The blocking variant of [`crate::ShflLock`], standing in for kernel
+//! `mutex`/`rwsem`-style primitives. Waiters spin briefly and then park;
+//! *when* to park is exactly the "adaptable parking/wake-up strategy" use
+//! case of the paper (§3.1.1): the `schedule_waiter` hook is consulted
+//! before a waiter parks, so a policy aware of critical-section lengths can
+//! keep waiters spinning (cheap handoff) or park them early (save CPU).
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+
+use crate::backoff::Backoff;
+use crate::hooks::{HookKind, LockEventCtx, NodeView, ScheduleWaiterCtx, ShflHooks};
+use crate::now_ns;
+use crate::raw::RawLock;
+use crate::topo;
+
+const WAITING: u32 = 0;
+const GRANTED: u32 = 1;
+const PARKED: u32 = 2;
+
+/// Spin budget before a waiter considers parking (ns of wall time).
+pub const DEFAULT_SPIN_NS: u64 = 20_000;
+
+struct Node {
+    next: AtomicPtr<Node>,
+    status: AtomicU32,
+    thread: Thread,
+    view: NodeView,
+}
+
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1 << 32);
+
+/// The blocking shuffle mutex.
+pub struct ShflMutex {
+    locked: AtomicBool,
+    tail: AtomicPtr<Node>,
+    hooks: Arc<ShflHooks>,
+    id: u64,
+    parks: AtomicU64,
+}
+
+// SAFETY: nodes are shared only through atomics, in MCS discipline.
+unsafe impl Send for ShflMutex {}
+// SAFETY: see above.
+unsafe impl Sync for ShflMutex {}
+
+impl Default for ShflMutex {
+    fn default() -> Self {
+        ShflMutex::new()
+    }
+}
+
+impl ShflMutex {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        ShflMutex {
+            locked: AtomicBool::new(false),
+            tail: AtomicPtr::new(ptr::null_mut()),
+            hooks: Arc::new(ShflHooks::new()),
+            id: NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed),
+            parks: AtomicU64::new(0),
+        }
+    }
+
+    /// Stable identity of this lock instance.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The hook table.
+    pub fn hooks(&self) -> &Arc<ShflHooks> {
+        &self.hooks
+    }
+
+    /// Number of times any waiter parked (statistics).
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    fn view() -> NodeView {
+        NodeView {
+            tid: topo::current_tid(),
+            cpu: topo::current_cpu(),
+            socket: topo::current_socket(),
+            prio: topo::current_priority(),
+            cs_hint: topo::cs_hint(),
+            held_locks: topo::held_locks(),
+            wait_start_ns: now_ns(),
+        }
+    }
+
+    /// Waits until granted, spinning first and parking when the policy
+    /// allows.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be the caller's own live node.
+    unsafe fn wait_granted(&self, node: *mut Node) {
+        let mut backoff = Backoff::new();
+        // SAFETY: our own node.
+        let view = unsafe { (*node).view };
+        let spin_deadline = now_ns() + DEFAULT_SPIN_NS;
+        loop {
+            // SAFETY: our own node.
+            let status = unsafe { (*node).status.load(Ordering::Acquire) };
+            if status == GRANTED {
+                return;
+            }
+            if now_ns() >= spin_deadline {
+                let may_park = self.hooks.eval_schedule_waiter(&ScheduleWaiterCtx {
+                    lock_id: self.id,
+                    curr: view,
+                    waited_ns: now_ns().saturating_sub(view.wait_start_ns),
+                });
+                if may_park {
+                    // SAFETY: our own node.
+                    let swapped = unsafe {
+                        (*node)
+                            .status
+                            .compare_exchange(WAITING, PARKED, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    };
+                    if swapped {
+                        self.parks.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: our own node.
+                        while unsafe { (*node).status.load(Ordering::Acquire) } == PARKED {
+                            std::thread::park();
+                        }
+                        return;
+                    }
+                    // Status changed under us: re-check (it is GRANTED).
+                    continue;
+                }
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Grants headship to `next`, waking it if parked.
+    ///
+    /// # Safety
+    ///
+    /// `next` must be a live queued node.
+    unsafe fn grant(&self, next: *mut Node) {
+        // SAFETY: per contract; `thread` is a cheap handle clone.
+        unsafe {
+            let thread = (*next).thread.clone();
+            let old = (*next).status.swap(GRANTED, Ordering::AcqRel);
+            if old == PARKED {
+                thread.unpark();
+            }
+        }
+    }
+}
+
+impl RawLock for ShflMutex {
+    fn acquire(&self) {
+        if self.hooks.is_active(HookKind::LockAcquire) {
+            self.hooks.fire_event(
+                HookKind::LockAcquire,
+                &LockEventCtx {
+                    lock_id: self.id,
+                    tid: topo::current_tid(),
+                    cpu: topo::current_cpu(),
+                    socket: topo::current_socket(),
+                    now_ns: now_ns(),
+                },
+            );
+        }
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        if self.hooks.is_active(HookKind::LockContended) {
+            self.hooks.fire_event(
+                HookKind::LockContended,
+                &LockEventCtx {
+                    lock_id: self.id,
+                    tid: topo::current_tid(),
+                    cpu: topo::current_cpu(),
+                    socket: topo::current_socket(),
+                    now_ns: now_ns(),
+                },
+            );
+        }
+
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            status: AtomicU32::new(WAITING),
+            thread: std::thread::current(),
+            view: Self::view(),
+        }));
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: MCS predecessor stays alive until it links us.
+            unsafe {
+                (*prev).next.store(node, Ordering::Release);
+            }
+            // SAFETY: our own node.
+            unsafe { self.wait_granted(node) };
+        }
+
+        // Queue head: wait for the word.
+        let mut backoff = Backoff::new();
+        while self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            backoff.snooze();
+        }
+
+        // Dequeue and promote.
+        // SAFETY: MCS dequeue of our own node.
+        unsafe {
+            let mut next = (*node).next.load(Ordering::Acquire);
+            if next.is_null()
+                && self
+                    .tail
+                    .compare_exchange(node, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+            {
+                let mut backoff = Backoff::new();
+                loop {
+                    next = (*node).next.load(Ordering::Acquire);
+                    if !next.is_null() {
+                        break;
+                    }
+                    backoff.snooze();
+                }
+            }
+            if !next.is_null() {
+                self.grant(next);
+            }
+            drop(Box::from_raw(node));
+        }
+        if self.hooks.is_active(HookKind::LockAcquired) {
+            self.hooks.fire_event(
+                HookKind::LockAcquired,
+                &LockEventCtx {
+                    lock_id: self.id,
+                    tid: topo::current_tid(),
+                    cpu: topo::current_cpu(),
+                    socket: topo::current_socket(),
+                    now_ns: now_ns(),
+                },
+            );
+        }
+    }
+
+    fn release(&self) {
+        if self.hooks.is_active(HookKind::LockRelease) {
+            self.hooks.fire_event(
+                HookKind::LockRelease,
+                &LockEventCtx {
+                    lock_id: self.id,
+                    tid: topo::current_tid(),
+                    cpu: topo::current_cpu(),
+                    socket: topo::current_socket(),
+                    now_ns: now_ns(),
+                },
+            );
+        }
+        debug_assert!(
+            self.locked.load(Ordering::Relaxed),
+            "release of unheld ShflMutex"
+        );
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::testutil::mutex_stress;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let l = ShflMutex::new();
+        {
+            let _g = l.lock();
+            assert!(l.try_lock().is_none());
+        }
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn stress_with_parking() {
+        mutex_stress(ShflMutex::new(), 8, 2_000);
+    }
+
+    #[test]
+    fn waiters_park_when_holder_is_slow() {
+        use std::sync::Arc;
+        let lock = Arc::new(ShflMutex::new());
+        let held = Arc::new(AtomicBool::new(false));
+        let holder = {
+            let (l, h) = (Arc::clone(&lock), Arc::clone(&held));
+            std::thread::spawn(move || {
+                let _g = l.lock();
+                h.store(true, Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_millis(120));
+            })
+        };
+        while !held.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+        let mut waiters = Vec::new();
+        for _ in 0..3 {
+            let l = Arc::clone(&lock);
+            waiters.push(std::thread::spawn(move || {
+                let _g = l.lock();
+            }));
+        }
+        holder.join().unwrap();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert!(
+            lock.park_count() > 0,
+            "waiters should have parked during a 120ms hold"
+        );
+    }
+
+    #[test]
+    fn never_park_policy_keeps_waiters_spinning() {
+        use std::sync::Arc;
+        let lock = Arc::new(ShflMutex::new());
+        lock.hooks().install_schedule_waiter(Arc::new(|_| false)); // Never park.
+        let counter = Arc::new(Counter::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (l, c) = (Arc::clone(&lock), Arc::clone(&counter));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    let _g = l.lock();
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4_000);
+        assert_eq!(lock.park_count(), 0);
+    }
+}

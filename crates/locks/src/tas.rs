@@ -1,0 +1,75 @@
+//! Test-and-test-and-set lock with exponential backoff.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::backoff::Backoff;
+use crate::raw::RawLock;
+
+/// The simplest spinlock: one shared flag, every waiter hammers it.
+///
+/// Included as the classic non-scalable baseline ("non-scalable locks are
+/// dangerous"); backoff keeps it usable at low thread counts.
+#[derive(Default)]
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl TasLock {
+    /// Creates an unlocked instance.
+    pub fn new() -> Self {
+        TasLock::default()
+    }
+}
+
+impl RawLock for TasLock {
+    fn acquire(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            // Test first to spin on a shared (read-only) line.
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn release(&self) {
+        debug_assert!(
+            self.locked.load(Ordering::Relaxed),
+            "release of unheld TAS lock"
+        );
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::testutil::mutex_stress;
+
+    #[test]
+    fn uncontended_roundtrip() {
+        let l = TasLock::new();
+        {
+            let _g = l.lock();
+            assert!(l.try_lock().is_none());
+        }
+        assert!(l.try_lock().is_some());
+    }
+
+    #[test]
+    fn stress_mutual_exclusion() {
+        mutex_stress(TasLock::new(), 8, 2_000);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulated MCS queue lock — the `qspinlock` analog ("Stock" in
+//! Fig. 2(b)).
+
+use std::cell::Cell;
+
+use ksim::{Sim, SimWord, TaskCtx};
+
+use crate::arena::{NodeArena, GRANTED, WAITING};
+
+/// MCS lock in the machine model: waiters spin on private lines, handoff
+/// transfers exactly one line — scalable but strictly FIFO, so every
+/// cross-socket handoff pays the interconnect.
+pub struct SimMcsLock {
+    tail: SimWord,
+    arena: NodeArena,
+    holder: Cell<u32>,
+}
+
+impl SimMcsLock {
+    /// Creates an unlocked instance on `sim`'s machine.
+    pub fn new(sim: &Sim) -> Self {
+        SimMcsLock {
+            tail: SimWord::new(sim, 0),
+            arena: NodeArena::new(sim),
+            holder: Cell::new(0),
+        }
+    }
+
+    /// Acquires the lock.
+    pub async fn acquire(&self, t: &TaskCtx) {
+        let idx = self.arena.alloc(t);
+        let node = self.arena.get(idx);
+        let prev = self.tail.swap(t, u64::from(idx)).await;
+        if prev != 0 {
+            let pnode = self.arena.get(prev as u32);
+            pnode.next.store(t, u64::from(idx)).await;
+            node.status.wait_while(t, |s| s == WAITING).await;
+        }
+        self.holder.set(idx);
+    }
+
+    /// Releases the lock.
+    pub async fn release(&self, t: &TaskCtx) {
+        let idx = self.holder.replace(0);
+        assert_ne!(idx, 0, "release of unheld SimMcsLock");
+        let node = self.arena.get(idx);
+        let mut next = node.next.load(t).await;
+        if next == 0 {
+            if self
+                .tail
+                .compare_exchange(t, u64::from(idx), 0)
+                .await
+                .is_ok()
+            {
+                self.arena.release(idx);
+                return;
+            }
+            next = node.next.wait_while(t, |n| n == 0).await;
+        }
+        self.arena.get(next as u32).status.store(t, GRANTED).await;
+        self.arena.release(idx);
+    }
+
+    /// Attempts to acquire without waiting.
+    pub async fn try_acquire(&self, t: &TaskCtx) -> bool {
+        if self.tail.peek() != 0 {
+            return false;
+        }
+        let idx = self.arena.alloc(t);
+        if self
+            .tail
+            .compare_exchange(t, 0, u64::from(idx))
+            .await
+            .is_ok()
+        {
+            self.holder.set(idx);
+            true
+        } else {
+            self.arena.release(idx);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::{CpuId, SimBuilder};
+    use std::rc::Rc;
+
+    #[test]
+    fn mutual_exclusion_many_tasks() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimMcsLock::new(&sim));
+        let counter = Rc::new(Cell::new(0u64));
+        let inside = Rc::new(Cell::new(false));
+        for cpu in 0..40u32 {
+            let (l, c, ins) = (Rc::clone(&lock), Rc::clone(&counter), Rc::clone(&inside));
+            sim.spawn_on(CpuId(cpu * 2), move |t| async move {
+                for _ in 0..25 {
+                    l.acquire(&t).await;
+                    assert!(!ins.replace(true), "mutual exclusion violated");
+                    t.advance(120).await;
+                    c.set(c.get() + 1);
+                    ins.set(false);
+                    l.release(&t).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(counter.get(), 1_000);
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn nodes_are_recycled_not_leaked() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimMcsLock::new(&sim));
+        for cpu in 0..8u32 {
+            let l = Rc::clone(&lock);
+            sim.spawn_on(CpuId(cpu), move |t| async move {
+                for _ in 0..100 {
+                    l.acquire(&t).await;
+                    t.advance(10).await;
+                    l.release(&t).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(lock.arena.live(), 0, "queue nodes leaked");
+    }
+
+    #[test]
+    fn try_acquire_respects_queue() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimMcsLock::new(&sim));
+        let l = Rc::clone(&lock);
+        sim.spawn_on(CpuId(0), move |t| async move {
+            assert!(l.try_acquire(&t).await);
+            assert!(!l.try_acquire(&t).await);
+            l.release(&t).await;
+            assert!(l.try_acquire(&t).await);
+            l.release(&t).await;
+        });
+        let stats = sim.run();
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn fifo_handoff_order() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimMcsLock::new(&sim));
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (i, cpu) in [5u32, 15, 25, 35, 45].iter().enumerate() {
+            let (l, o) = (Rc::clone(&lock), Rc::clone(&order));
+            sim.spawn_on(CpuId(*cpu), move |t| async move {
+                t.advance(500 * (i as u64 + 1)).await;
+                l.acquire(&t).await;
+                o.borrow_mut().push(i);
+                t.advance(20_000).await;
+                l.release(&t).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Simulated neutral readers-writer lock ("Stock" of Fig. 2(a)).
+//!
+//! One word holds the reader count plus writer/writer-waiting bits — the
+//! `qrwlock`-style design whose shared reader counter is precisely what
+//! BRAVO removes: every reader RMWs the same line, so read-side throughput
+//! flattens as sockets contend for it.
+
+use ksim::{Sim, SimWord, TaskCtx};
+
+const WRITER: u64 = 1;
+const WRITER_WAITING: u64 = 2;
+const READER_UNIT: u64 = 4;
+
+/// The simulated neutral rwlock.
+pub struct SimNeutralRwLock {
+    word: SimWord,
+}
+
+impl SimNeutralRwLock {
+    /// Creates an unlocked instance on `sim`'s machine.
+    pub fn new(sim: &Sim) -> Self {
+        SimNeutralRwLock {
+            word: SimWord::new(sim, 0),
+        }
+    }
+
+    /// Acquires shared access.
+    pub async fn read_acquire(&self, t: &TaskCtx) {
+        loop {
+            let w = self.word.load(t).await;
+            if w & (WRITER | WRITER_WAITING) == 0 {
+                if self
+                    .word
+                    .compare_exchange(t, w, w + READER_UNIT)
+                    .await
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            self.word
+                .wait_while(t, |w| w & (WRITER | WRITER_WAITING) != 0)
+                .await;
+        }
+    }
+
+    /// Releases shared access.
+    pub async fn read_release(&self, t: &TaskCtx) {
+        debug_assert!(self.word.peek() >= READER_UNIT, "release without readers");
+        self.word.fetch_sub(t, READER_UNIT).await;
+    }
+
+    /// Acquires exclusive access.
+    pub async fn write_acquire(&self, t: &TaskCtx) {
+        loop {
+            let w = self.word.load(t).await;
+            if w & !WRITER_WAITING == 0 {
+                if self.word.compare_exchange(t, w, WRITER).await.is_ok() {
+                    return;
+                }
+                continue;
+            }
+            if w & WRITER_WAITING == 0 {
+                // Announce intent; new readers will stall.
+                let _ = self.word.compare_exchange(t, w, w | WRITER_WAITING).await;
+                continue;
+            }
+            self.word.wait_while(t, |w| w & !WRITER_WAITING != 0).await;
+        }
+    }
+
+    /// Releases exclusive access.
+    pub async fn write_release(&self, t: &TaskCtx) {
+        debug_assert!(self.word.peek() & WRITER != 0, "release without writer");
+        self.word.fetch_and(t, !WRITER).await;
+    }
+
+    /// Current reader count (uncharged; statistics).
+    pub fn readers(&self) -> u64 {
+        self.word.peek() / READER_UNIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::{CpuId, SimBuilder};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimNeutralRwLock::new(&sim));
+        let val = Rc::new(Cell::new((0u64, 0u64)));
+        for i in 0..12u32 {
+            let (l, v) = (Rc::clone(&lock), Rc::clone(&val));
+            sim.spawn_on(CpuId(i * 6), move |t| async move {
+                for _ in 0..40 {
+                    if i < 2 {
+                        l.write_acquire(&t).await;
+                        let (a, b) = v.get();
+                        v.set((a + 1, b));
+                        t.advance(300).await;
+                        let (a, b) = v.get();
+                        v.set((a, b + 1));
+                        l.write_release(&t).await;
+                    } else {
+                        l.read_acquire(&t).await;
+                        let (a, b) = v.get();
+                        assert_eq!(a, b, "torn read: writer ran under read lock");
+                        t.advance(100).await;
+                        let (a2, b2) = v.get();
+                        assert_eq!(a2, b2, "writer entered during read CS");
+                        l.read_release(&t).await;
+                    }
+                }
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(val.get(), (80, 80));
+        assert!(
+            stats.stuck_tasks.is_empty(),
+            "stuck: {:?}",
+            stats.stuck_tasks
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_overlap_in_time() {
+        // Two readers with long critical sections must overlap: total time
+        // well under the serial sum.
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimNeutralRwLock::new(&sim));
+        for cpu in [0u32, 40] {
+            let l = Rc::clone(&lock);
+            sim.spawn_on(CpuId(cpu), move |t| async move {
+                l.read_acquire(&t).await;
+                t.advance(1_000_000).await;
+                l.read_release(&t).await;
+            });
+        }
+        let stats = sim.run();
+        assert!(
+            stats.final_time_ns < 1_500_000,
+            "readers serialized: {}ns",
+            stats.final_time_ns
+        );
+    }
+
+    #[test]
+    fn writer_not_starved_by_reader_stream() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimNeutralRwLock::new(&sim));
+        let writer_done = Rc::new(Cell::new(0u64));
+        // Constant stream of readers.
+        for cpu in 0..8u32 {
+            let l = Rc::clone(&lock);
+            sim.spawn_on(CpuId(cpu * 10), move |t| async move {
+                for _ in 0..300 {
+                    l.read_acquire(&t).await;
+                    t.advance(500).await;
+                    l.read_release(&t).await;
+                    t.advance(100).await;
+                }
+            });
+        }
+        let (l, wd) = (Rc::clone(&lock), Rc::clone(&writer_done));
+        sim.spawn_on(CpuId(5), move |t| async move {
+            t.advance(10_000).await;
+            l.write_acquire(&t).await;
+            wd.set(t.now());
+            t.advance(1_000).await;
+            l.write_release(&t).await;
+        });
+        let stats = sim.run();
+        assert!(stats.stuck_tasks.is_empty());
+        let done = writer_done.get();
+        assert!(done > 0, "writer never ran");
+        assert!(
+            done < stats.final_time_ns,
+            "writer starved to the end of the run"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulated test-and-set lock.
+
+use ksim::{Sim, SimFlag, TaskCtx};
+
+/// Test-and-test-and-set lock in the machine model: every contender RMWs
+/// the same line, so each handoff triggers an invalidation storm across
+/// all spinning sockets — the collapse curve of non-scalable locks.
+pub struct SimTasLock {
+    locked: SimFlag,
+}
+
+impl SimTasLock {
+    /// Creates an unlocked instance on `sim`'s machine.
+    pub fn new(sim: &Sim) -> Self {
+        SimTasLock {
+            locked: SimFlag::new(sim, false),
+        }
+    }
+
+    /// Acquires the lock.
+    pub async fn acquire(&self, t: &TaskCtx) {
+        loop {
+            // Wait until it looks free (shared-mode spin)…
+            self.locked.wait_clear(t).await;
+            // …then race an RMW for it.
+            if !self.locked.test_and_set(t).await {
+                return;
+            }
+        }
+    }
+
+    /// Releases the lock.
+    pub async fn release(&self, t: &TaskCtx) {
+        debug_assert!(self.locked.peek(), "release of unheld SimTasLock");
+        self.locked.clear(t).await;
+    }
+
+    /// Attempts to acquire without waiting.
+    pub async fn try_acquire(&self, t: &TaskCtx) -> bool {
+        !self.locked.test_and_set(t).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::{CpuId, SimBuilder, SimWord};
+    use std::rc::Rc;
+
+    #[test]
+    fn mutual_exclusion_and_progress() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimTasLock::new(&sim));
+        let counter = Rc::new(SimWord::new(&sim, 0));
+        let inside = Rc::new(std::cell::Cell::new(0u32));
+        for cpu in 0..16u32 {
+            let (l, c, ins) = (Rc::clone(&lock), Rc::clone(&counter), Rc::clone(&inside));
+            sim.spawn_on(CpuId(cpu * 5), move |t| async move {
+                for _ in 0..50 {
+                    l.acquire(&t).await;
+                    assert_eq!(ins.replace(1), 0, "mutual exclusion violated");
+                    t.advance(100).await;
+                    let v = c.peek();
+                    c.poke(v + 1);
+                    assert_eq!(ins.replace(0), 1);
+                    l.release(&t).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        assert_eq!(counter.peek(), 800);
+        assert!(stats.stuck_tasks.is_empty());
+    }
+
+    #[test]
+    fn try_acquire_fails_when_held() {
+        let sim = SimBuilder::new().build();
+        let lock = Rc::new(SimTasLock::new(&sim));
+        let l = Rc::clone(&lock);
+        sim.spawn_on(CpuId(0), move |t| async move {
+            assert!(l.try_acquire(&t).await);
+            assert!(!l.try_acquire(&t).await);
+            l.release(&t).await;
+            assert!(l.try_acquire(&t).await);
+            l.release(&t).await;
+        });
+        let stats = sim.run();
+        assert!(stats.stuck_tasks.is_empty());
+    }
+}

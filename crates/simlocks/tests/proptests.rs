@@ -1,0 +1,182 @@
+//! Property tests for the simulated lock algorithms: mutual exclusion,
+//! progress, node hygiene and fairness bounds under arbitrary workload
+//! shapes and adversarial policies.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ksim::{CpuId, SimBuilder};
+use locks::hooks::{CmpNodeCtx, SkipShuffleCtx};
+use proptest::prelude::*;
+use simlocks::policy::{Decision, SimPolicy};
+use simlocks::{SimBravo, SimMcsLock, SimShflLock};
+
+/// A policy whose decisions are a pure function of a random seed — covers
+/// the whole decision space including pathological ones.
+struct SeededPolicy(u64);
+
+impl SimPolicy for SeededPolicy {
+    fn cmp_node(&self, c: &CmpNodeCtx) -> Decision {
+        let h = self
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(c.curr.tid ^ c.shuffler.tid.rotate_left(17));
+        (h & 3 == 0, h % 20)
+    }
+
+    fn skip_shuffle(&self, c: &SkipShuffleCtx) -> Decision {
+        let h = self.0 ^ c.shuffler.tid;
+        (h & 7 == 0, h % 11)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ShflLock under an arbitrary policy: no lost counts, no overlap, no
+    /// leaked nodes, no stuck tasks — for any task count, placement and
+    /// critical-section shape.
+    #[test]
+    fn shfl_safety_under_arbitrary_policies(
+        tasks in 2usize..28,
+        iters in 1u64..40,
+        cs in 20u64..2_000,
+        policy_seed in any::<u64>(),
+        sim_seed in any::<u64>(),
+        cpus in proptest::collection::vec(0u32..80, 28),
+    ) {
+        let sim = SimBuilder::new().seed(sim_seed).build();
+        let lock = Rc::new(SimShflLock::new(&sim));
+        lock.set_policy(Rc::new(SeededPolicy(policy_seed)));
+        let counter = Rc::new(Cell::new(0u64));
+        let inside = Rc::new(Cell::new(false));
+        for &cpu in cpus.iter().take(tasks) {
+            let (l, c, ins) = (Rc::clone(&lock), Rc::clone(&counter), Rc::clone(&inside));
+            sim.spawn_on(CpuId(cpu), move |t| async move {
+                for _ in 0..iters {
+                    l.acquire_with(&t, (t.rng_u64() % 7) as i64 - 3, t.rng_u64() % 1000)
+                        .await;
+                    assert!(!ins.replace(true), "mutual exclusion violated");
+                    t.advance(cs).await;
+                    c.set(c.get() + 1);
+                    ins.set(false);
+                    l.release(&t).await;
+                    t.advance(t.rng_u64() % 500).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        prop_assert_eq!(counter.get(), tasks as u64 * iters);
+        prop_assert!(stats.stuck_tasks.is_empty(), "stuck: {:?}", stats.stuck_tasks);
+        prop_assert_eq!(lock.live_nodes(), 0, "leaked queue nodes");
+    }
+
+    /// Fairness bound: with the NUMA policy and the MAX_BATCH guard, no
+    /// task starves — per-task op counts stay within a factor of the mean.
+    #[test]
+    fn shfl_no_starvation_with_numa_policy(
+        sim_seed in any::<u64>(),
+    ) {
+        let sim = SimBuilder::new().seed(sim_seed).build();
+        let lock = Rc::new(SimShflLock::new(&sim));
+        lock.set_policy(Rc::new(simlocks::NativePolicy::numa_aware()));
+        let n = 24usize;
+        let per_task = Rc::new(std::cell::RefCell::new(vec![0u64; n]));
+        for (i, cpu) in sim.topology().compact_placement(n).into_iter().enumerate() {
+            let (l, pt) = (Rc::clone(&lock), Rc::clone(&per_task));
+            sim.spawn_on(cpu, move |t| async move {
+                while t.now() < 1_500_000 {
+                    l.acquire(&t).await;
+                    t.advance(300).await;
+                    l.release(&t).await;
+                    pt.borrow_mut()[i] += 1;
+                    t.advance(100 + t.rng_u64() % 400).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        prop_assert!(stats.stuck_tasks.is_empty());
+        let pt = per_task.borrow();
+        let min = *pt.iter().min().unwrap();
+        let max = *pt.iter().max().unwrap();
+        prop_assert!(min > 0, "a task starved completely");
+        prop_assert!(
+            max <= min.saturating_mul(4) + 8,
+            "starvation beyond the fairness bound: {min}..{max}"
+        );
+    }
+
+    /// MCS under arbitrary shapes: counts, nodes, progress.
+    #[test]
+    fn mcs_safety(
+        tasks in 2usize..24,
+        iters in 1u64..50,
+        sim_seed in any::<u64>(),
+        cpus in proptest::collection::vec(0u32..80, 24),
+    ) {
+        let sim = SimBuilder::new().seed(sim_seed).build();
+        let lock = Rc::new(SimMcsLock::new(&sim));
+        let counter = Rc::new(Cell::new(0u64));
+        for &cpu in cpus.iter().take(tasks) {
+            let (l, c) = (Rc::clone(&lock), Rc::clone(&counter));
+            sim.spawn_on(CpuId(cpu), move |t| async move {
+                for _ in 0..iters {
+                    l.acquire(&t).await;
+                    c.set(c.get() + 1);
+                    t.advance(t.rng_u64() % 300).await;
+                    l.release(&t).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        prop_assert_eq!(counter.get(), tasks as u64 * iters);
+        prop_assert!(stats.stuck_tasks.is_empty());
+    }
+
+    /// BRAVO: readers never observe a torn write under arbitrary
+    /// read/write mixes; all tasks finish.
+    #[test]
+    fn bravo_consistency(
+        readers in 1usize..20,
+        writers in 1usize..4,
+        iters in 1u64..40,
+        sim_seed in any::<u64>(),
+    ) {
+        let sim = SimBuilder::new().seed(sim_seed).build();
+        let lock = Rc::new(SimBravo::new(&sim));
+        let pair = Rc::new(Cell::new((0u64, 0u64)));
+        for i in 0..writers {
+            let (l, p) = (Rc::clone(&lock), Rc::clone(&pair));
+            sim.spawn_on(CpuId((i as u32 * 13) % 80), move |t| async move {
+                for _ in 0..iters {
+                    l.write_acquire(&t).await;
+                    let (a, b) = p.get();
+                    p.set((a + 1, b));
+                    t.advance(200).await;
+                    let (a, b) = p.get();
+                    p.set((a, b + 1));
+                    l.write_release(&t).await;
+                    t.advance(t.rng_u64() % 700).await;
+                }
+            });
+        }
+        for i in 0..readers {
+            let (l, p) = (Rc::clone(&lock), Rc::clone(&pair));
+            sim.spawn_on(CpuId((i as u32 * 7 + 1) % 80), move |t| async move {
+                for _ in 0..iters {
+                    l.read_acquire(&t).await;
+                    let (a, b) = p.get();
+                    assert_eq!(a, b, "torn read");
+                    t.advance(100).await;
+                    let (a2, b2) = p.get();
+                    assert_eq!(a2, b2, "writer entered during read");
+                    l.read_release(&t).await;
+                    t.advance(t.rng_u64() % 400).await;
+                }
+            });
+        }
+        let stats = sim.run();
+        prop_assert!(stats.stuck_tasks.is_empty(), "stuck: {:?}", stats.stuck_tasks);
+        prop_assert_eq!(pair.get().0, writers as u64 * iters);
+    }
+}

@@ -1,0 +1,61 @@
+//! Lock switching (§3.1.1): flip a readers-writer lock between the
+//! neutral design and the BRAVO distributed-readers design as the
+//! workload phase changes — at run time, through Concord.
+//!
+//!     cargo run --release --example lock_switching
+
+use std::sync::Arc;
+
+use concord::Concord;
+use locks::{Bravo, NeutralRwLock, RawRwLock};
+
+fn read_phase(lock: &Arc<Bravo<NeutralRwLock>>, label: &str) {
+    let before = lock.stats();
+    let mut handles = Vec::new();
+    for t in 0..6u32 {
+        let l = Arc::clone(lock);
+        handles.push(std::thread::spawn(move || {
+            locks::topo::pin_thread(t * 13 % 80);
+            for _ in 0..30_000 {
+                let _r = l.read();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let after = lock.stats();
+    println!(
+        "  [{label}] fast reads +{}, slow reads +{}",
+        after.0 - before.0,
+        after.1 - before.1
+    );
+}
+
+fn write_phase(lock: &Arc<Bravo<NeutralRwLock>>) {
+    for _ in 0..100 {
+        let _w = lock.write();
+    }
+}
+
+fn main() {
+    let concord = Concord::new();
+    let file_table = Arc::new(Bravo::new(NeutralRwLock::new()));
+    concord
+        .registry()
+        .register_bravo("file_table", Arc::clone(&file_table));
+
+    println!("phase 1: read-heavy, reader bias ON (BRAVO behavior)");
+    read_phase(&file_table, "biased");
+
+    println!("phase 2: write burst coming — switch to the neutral design");
+    concord.switch_bravo_bias("file_table", false).unwrap();
+    write_phase(&file_table);
+    read_phase(&file_table, "neutral");
+    let (_, _, revocations) = file_table.stats();
+    println!("  (writers needed no further revocations: total = {revocations})");
+
+    println!("phase 3: reads dominate again — switch the bias back on");
+    concord.switch_bravo_bias("file_table", true).unwrap();
+    read_phase(&file_table, "re-biased");
+}

@@ -1,0 +1,134 @@
+//! Differential tests: every prebuilt bytecode policy must make exactly
+//! the decisions of its native reference implementation, over randomized
+//! contexts — the correctness argument for replacing compiled-in policies
+//! with verified user bytecode (§5's "pre-compiled versions of the same
+//! locks").
+
+use std::sync::Arc;
+
+use concord::env::RealEnv;
+use concord::policy::BytecodePolicy;
+use concord::Concord;
+use locks::hooks::{CmpNodeCtx, CmpNodeFn, NodeView, ScheduleWaiterCtx};
+use proptest::prelude::*;
+
+fn view_strategy() -> impl Strategy<Value = NodeView> {
+    (
+        1u64..1000,
+        0u32..80,
+        -20i64..20,
+        0u64..100_000,
+        0u32..12,
+        any::<u32>(),
+    )
+        .prop_map(|(tid, cpu, prio, cs_hint, held, wait)| NodeView {
+            tid,
+            cpu,
+            socket: cpu / 10,
+            prio,
+            cs_hint,
+            held_locks: held,
+            wait_start_ns: u64::from(wait),
+        })
+}
+
+fn cmp_ctx_strategy() -> impl Strategy<Value = CmpNodeCtx> {
+    (any::<u64>(), view_strategy(), view_strategy()).prop_map(|(lock_id, shuffler, curr)| {
+        CmpNodeCtx {
+            lock_id,
+            shuffler,
+            curr,
+        }
+    })
+}
+
+fn bytecode_cmp(spec: concord::PolicySpec) -> CmpNodeFn {
+    let c = Concord::new();
+    let loaded = c.load(spec).expect("prebuilt policy verifies");
+    BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new())).as_cmp_node()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn numa_aware_matches_native(ctx in cmp_ctx_strategy()) {
+        let bytecode = bytecode_cmp(concord::policies::numa_aware());
+        let native = concord::policies::numa_aware_native();
+        prop_assert_eq!(bytecode(&ctx), native(&ctx));
+    }
+
+    #[test]
+    fn priority_boost_matches_native(ctx in cmp_ctx_strategy()) {
+        let bytecode = bytecode_cmp(concord::policies::priority_boost());
+        let native = concord::policies::priority_boost_native();
+        prop_assert_eq!(bytecode(&ctx), native(&ctx));
+    }
+
+    #[test]
+    fn lock_inheritance_matches_native(ctx in cmp_ctx_strategy()) {
+        let bytecode = bytecode_cmp(concord::policies::lock_inheritance());
+        let native = concord::policies::lock_inheritance_native();
+        prop_assert_eq!(bytecode(&ctx), native(&ctx));
+    }
+
+    #[test]
+    fn scheduler_cooperative_matches_native(
+        ctx in cmp_ctx_strategy(),
+        threshold in 0u64..50_000,
+    ) {
+        let bytecode = bytecode_cmp(concord::policies::scheduler_cooperative(threshold));
+        let native = concord::policies::scheduler_cooperative_native(threshold);
+        prop_assert_eq!(bytecode(&ctx), native(&ctx));
+    }
+
+    #[test]
+    fn amp_aware_matches_native(ctx in cmp_ctx_strategy(), fast in 1u32..80) {
+        let bytecode = bytecode_cmp(concord::policies::amp_aware(fast));
+        let native = concord::policies::amp_aware_native(fast);
+        prop_assert_eq!(bytecode(&ctx), native(&ctx));
+    }
+
+    #[test]
+    fn adaptive_parking_matches_native(
+        curr in view_strategy(),
+        waited in 0u64..200_000,
+        spin in 0u64..100_000,
+    ) {
+        let c = Concord::new();
+        let loaded = c.load(concord::policies::adaptive_parking(spin)).unwrap();
+        let f = BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()))
+            .as_schedule_waiter();
+        let native = concord::policies::adaptive_parking_native(spin);
+        let ctx = ScheduleWaiterCtx { lock_id: 1, curr, waited_ns: waited };
+        prop_assert_eq!(f(&ctx), native(&ctx));
+    }
+}
+
+#[test]
+fn no_faults_across_many_invocations() {
+    // The fault counter is the canary for verifier/interpreter drift.
+    let c = Concord::new();
+    let loaded = c.load(concord::policies::numa_aware()).unwrap();
+    let policy = BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()));
+    let f = policy.as_cmp_node();
+    let mk = |cpu| NodeView {
+        tid: 1,
+        cpu,
+        socket: cpu / 10,
+        prio: 0,
+        cs_hint: 0,
+        held_locks: 0,
+        wait_start_ns: 0,
+    };
+    for i in 0..10_000u32 {
+        f(&CmpNodeCtx {
+            lock_id: u64::from(i),
+            shuffler: mk(i % 80),
+            curr: mk((i * 7) % 80),
+        });
+    }
+    let (inv, faults) = policy.stats();
+    assert_eq!(inv, 10_000);
+    assert_eq!(faults, 0);
+}

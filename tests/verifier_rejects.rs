@@ -1,0 +1,169 @@
+//! A corpus of hostile policies that the Concord workflow must reject —
+//! each one written the way an adversarial (or merely buggy) user would,
+//! in assembly, and each checked for the *right* rejection reason.
+
+use concord::{Concord, ConcordError, PolicySpec};
+use locks::hooks::HookKind;
+
+fn rejects(hook: HookKind, asm: &str) -> String {
+    let c = Concord::new();
+    match c.load(PolicySpec::from_asm("hostile", hook, asm)) {
+        Err(ConcordError::Verify(e)) => e.to_string(),
+        Err(other) => panic!("expected verifier rejection, got: {other}"),
+        Ok(_) => panic!("hostile policy was accepted:\n{asm}"),
+    }
+}
+
+#[test]
+fn infinite_loop() {
+    let msg = rejects(HookKind::CmpNode, "top:\n mov r0, 0\n ja top\n exit");
+    assert!(msg.contains("backward"), "{msg}");
+}
+
+#[test]
+fn self_loop() {
+    let msg = rejects(HookKind::CmpNode, "mov r0, 0\nx:\n jeq r0, 0, x\n exit");
+    assert!(msg.contains("backward"), "{msg}");
+}
+
+#[test]
+fn stack_out_of_bounds_write() {
+    let msg = rejects(
+        HookKind::CmpNode,
+        "mov r1, 1\n stxdw [r10-520], r1\n mov r0, 0\n exit",
+    );
+    assert!(msg.contains("out of bounds"), "{msg}");
+}
+
+#[test]
+fn stack_uninitialized_read() {
+    let msg = rejects(HookKind::CmpNode, "ldxdw r0, [r10-8]\n exit");
+    assert!(msg.contains("uninitialized stack"), "{msg}");
+}
+
+#[test]
+fn uninitialized_register() {
+    let msg = rejects(HookKind::CmpNode, "mov r0, r6\n exit");
+    assert!(msg.contains("uninitialized r6"), "{msg}");
+}
+
+#[test]
+fn missing_return_value() {
+    let msg = rejects(HookKind::CmpNode, "exit");
+    assert!(msg.contains("r0"), "{msg}");
+}
+
+#[test]
+fn ctx_out_of_bounds_read() {
+    // Way past the cmp_node context.
+    let msg = rejects(HookKind::CmpNode, "ldxdw r0, [r1+4096]\n exit");
+    assert!(msg.contains("matches no field"), "{msg}");
+}
+
+#[test]
+fn ctx_write_forbidden() {
+    // Writing any context field from a decision hook is refused (all
+    // fields are read-only AND the hook bans ctx writes).
+    let msg = rejects(
+        HookKind::CmpNode,
+        "mov r2, 0\n stxdw [r1], r2\n mov r0, 0\n exit",
+    );
+    assert!(
+        msg.contains("read-only") || msg.contains("forbids context writes"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn misaligned_ctx_read() {
+    let msg = rejects(HookKind::CmpNode, "ldxw r0, [r1+2]\n exit");
+    assert!(msg.contains("matches no field"), "{msg}");
+}
+
+#[test]
+fn frame_pointer_clobber() {
+    let msg = rejects(HookKind::CmpNode, "mov r10, 0\n mov r0, 0\n exit");
+    assert!(msg.contains("frame pointer"), "{msg}");
+}
+
+#[test]
+fn pointer_arithmetic_escape() {
+    // Trying to fabricate a pointer from arithmetic on r10.
+    let msg = rejects(
+        HookKind::CmpNode,
+        "mov r1, r10\n mul r1, 8\n mov r0, 0\n exit",
+    );
+    assert!(msg.contains("pointer"), "{msg}");
+}
+
+#[test]
+fn variable_offset_stack_access() {
+    let msg = rejects(
+        HookKind::CmpNode,
+        "call cpu_id\n mov r1, r10\n add r1, r0\n mov r2, 0\n stxdw [r1-8], r2\n mov r0, 0\n exit",
+    );
+    assert!(msg.contains("pointer"), "{msg}");
+}
+
+#[test]
+fn division_by_constant_zero() {
+    let msg = rejects(HookKind::CmpNode, "mov r0, 7\n div r0, 0\n exit");
+    assert!(msg.contains("zero"), "{msg}");
+}
+
+#[test]
+fn unknown_helper() {
+    let msg = rejects(HookKind::CmpNode, "call 777\n exit");
+    assert!(msg.contains("unknown helper"), "{msg}");
+}
+
+#[test]
+fn trace_in_decision_hook() {
+    let msg = rejects(
+        HookKind::CmpNode,
+        "stb [r10-1], 65\n mov r1, r10\n add r1, -1\n mov r2, 1\n call trace_printk\n exit",
+    );
+    assert!(msg.contains("helper not allowed"), "{msg}");
+}
+
+#[test]
+fn oversized_decision_policy() {
+    // 200 no-ops blow the 128-instruction budget for decision hooks.
+    let mut asm = String::new();
+    for _ in 0..200 {
+        asm.push_str("mov r0, 0\n");
+    }
+    asm.push_str("exit");
+    let msg = rejects(HookKind::CmpNode, &asm);
+    assert!(msg.contains("instruction limit"), "{msg}");
+    // The same program is fine as a profiling hook (512 budget).
+    let c = Concord::new();
+    assert!(c
+        .load(PolicySpec::from_asm("big", HookKind::LockAcquired, &asm))
+        .is_ok());
+}
+
+#[test]
+fn clobbered_register_after_helper() {
+    let msg = rejects(
+        HookKind::CmpNode,
+        "mov r3, 5\n call cpu_id\n mov r0, r3\n exit",
+    );
+    assert!(msg.contains("uninitialized r3"), "{msg}");
+}
+
+#[test]
+fn fall_off_end() {
+    let msg = rejects(HookKind::CmpNode, "mov r0, 0");
+    assert!(msg.contains("fall off"), "{msg}");
+}
+
+#[test]
+fn dead_branch_does_not_hide_errors() {
+    // The bad access sits on a branch that IS reachable (cpu_id unknown).
+    let msg = rejects(
+        HookKind::CmpNode,
+        "call cpu_id\n jeq r0, 0, ok\n ldxdw r0, [r10-16]\nok:\n mov r0, 0\n exit",
+    );
+    assert!(msg.contains("uninitialized stack"), "{msg}");
+}
