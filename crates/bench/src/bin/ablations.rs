@@ -6,14 +6,18 @@
 //!    calibration knob behind `TRAMPOLINE_NS`;
 //! 3. the `MAX_BATCH` fairness bound vs throughput and fairness —
 //!    the cost of the §4.2 starvation guard.
+//!
+//! Each ablation's configurations are independent simulations, fanned out
+//! across the sweep worker pool; rows print in configuration order.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use c3_bench::run_window_ms;
+use c3_bench::sweep::run_points;
 use ksim::{LatencyModel, SimBuilder};
 use simlocks::{NativePolicy, SimMcsLock, SimShflLock};
 
-const WINDOW: u64 = 3_000_000;
 const THREADS: usize = 60;
 
 fn lat(cross: u64) -> LatencyModel {
@@ -23,65 +27,72 @@ fn lat(cross: u64) -> LatencyModel {
     }
 }
 
-fn sweep_cross_socket() {
+fn sweep_cross_socket(window: u64) {
+    let window_ms = window as f64 / 1e6;
     println!("### Ablation 1: interconnect cost vs NUMA-policy win (60 threads)");
     println!("| cross-socket ns | MCS ops/ms | Shfl-NUMA ops/ms | ratio |");
     println!("|---|---|---|---|");
-    for cross in [110u64, 220, 440, 880] {
-        let run = |numa: bool| {
-            let sim = SimBuilder::new().seed(42).latency(lat(cross)).build();
-            let ops = Rc::new(Cell::new(0u64));
-            enum L {
-                M(SimMcsLock),
-                S(SimShflLock),
-            }
-            let lock = Rc::new(if numa {
-                let l = SimShflLock::new(&sim);
-                l.set_policy(Rc::new(NativePolicy::numa_aware()));
-                L::S(l)
-            } else {
-                L::M(SimMcsLock::new(&sim))
-            });
-            for cpu in sim.topology().compact_placement(THREADS) {
-                let (l, o) = (Rc::clone(&lock), Rc::clone(&ops));
-                sim.spawn_on(cpu, move |t| async move {
-                    while t.now() < WINDOW {
-                        match &*l {
-                            L::M(m) => {
-                                m.acquire(&t).await;
-                                t.advance(300).await;
-                                m.release(&t).await;
-                            }
-                            L::S(s) => {
-                                s.acquire(&t).await;
-                                t.advance(300).await;
-                                s.release(&t).await;
-                            }
+    let run = |cross: u64, numa: bool| {
+        let sim = SimBuilder::new().seed(42).latency(lat(cross)).build();
+        let ops = Rc::new(Cell::new(0u64));
+        enum L {
+            M(SimMcsLock),
+            S(SimShflLock),
+        }
+        let lock = Rc::new(if numa {
+            let l = SimShflLock::new(&sim);
+            l.set_policy(Rc::new(NativePolicy::numa_aware()));
+            L::S(l)
+        } else {
+            L::M(SimMcsLock::new(&sim))
+        });
+        for cpu in sim.topology().compact_placement(THREADS) {
+            let (l, o) = (Rc::clone(&lock), Rc::clone(&ops));
+            sim.spawn_on(cpu, move |t| async move {
+                while t.now() < window {
+                    match &*l {
+                        L::M(m) => {
+                            m.acquire(&t).await;
+                            t.advance(300).await;
+                            m.release(&t).await;
                         }
-                        o.set(o.get() + 1);
-                        t.advance(150 + t.rng_u64() % 600).await;
+                        L::S(s) => {
+                            s.acquire(&t).await;
+                            t.advance(300).await;
+                            s.release(&t).await;
+                        }
                     }
-                });
-            }
-            sim.run();
-            ops.get() as f64 / 3.0
-        };
-        let mcs = run(false);
-        let shfl = run(true);
+                    o.set(o.get() + 1);
+                    t.advance(150 + t.rng_u64() % 600).await;
+                }
+            });
+        }
+        sim.run();
+        ops.get() as f64 / window_ms
+    };
+    let crosses = [110u64, 220, 440, 880];
+    let points: Vec<(u64, bool)> = crosses
+        .iter()
+        .flat_map(|&c| [(c, false), (c, true)])
+        .collect();
+    let vals = run_points(&points, |&(c, numa)| run(c, numa));
+    for (i, &cross) in crosses.iter().enumerate() {
+        let (mcs, shfl) = (vals[2 * i], vals[2 * i + 1]);
         println!("| {cross} | {mcs:.0} | {shfl:.0} | {:.2}× |", shfl / mcs);
     }
     println!();
 }
 
-fn sweep_patched_entry() {
+fn sweep_patched_entry(window: u64) {
     use c3_bench::workloads::{run_hashtable, HtSeries};
     use concord::policy::PatchedEntryPolicy;
 
+    let window_ms = window as f64 / 1e6;
     println!("### Ablation 2: patched-entry cost vs Fig. 2(c) overhead (8 threads)");
     println!("| entry cost ns | normalized throughput |");
     println!("|---|---|");
-    let base = run_hashtable(8, HtSeries::Baseline, WINDOW, 42);
-    for cost in [0u64, 15, 45, 90, 180] {
+    let base = run_hashtable(8, HtSeries::Baseline, window, 42);
+    let run = |cost: u64| {
         // Reuse the hashtable workload with a custom-cost policy by
         // constructing the lock by hand.
         let sim = SimBuilder::new().seed(42).build();
@@ -95,7 +106,7 @@ fn sweep_patched_entry() {
         for cpu in sim.topology().compact_placement(8) {
             let (l, tb, o) = (Rc::clone(&lock), Rc::clone(&table), Rc::clone(&ops));
             sim.spawn_on(cpu, move |t| async move {
-                while t.now() < WINDOW {
+                while t.now() < window {
                     let r = t.rng_u64();
                     let key = r % 4096;
                     l.acquire(&t).await;
@@ -112,17 +123,22 @@ fn sweep_patched_entry() {
             });
         }
         sim.run();
-        let tp = ops.get() as f64 / 3.0;
+        ops.get() as f64 / window_ms
+    };
+    let costs = [0u64, 15, 45, 90, 180];
+    let vals = run_points(&costs, |&c| run(c));
+    for (cost, tp) in costs.iter().zip(vals) {
         println!("| {cost} | {:.3} |", tp / base);
     }
     println!();
 }
 
-fn sweep_max_batch() {
+fn sweep_max_batch(window: u64) {
+    let window_ms = window as f64 / 1e6;
     println!("### Ablation 3: MAX_BATCH fairness bound (40 threads, 4 sockets)");
     println!("| max batch | ops/ms | per-task min..max |");
     println!("|---|---|---|");
-    for batch in [1u32, 8, 32, 128, 100_000] {
+    let run = |batch: u32| {
         let sim = SimBuilder::new().seed(42).build();
         let lock = Rc::new(SimShflLock::new(&sim));
         lock.set_policy(Rc::new(NativePolicy::numa_aware()));
@@ -131,7 +147,7 @@ fn sweep_max_batch() {
         for (i, cpu) in sim.topology().compact_placement(40).into_iter().enumerate() {
             let (l, pt) = (Rc::clone(&lock), Rc::clone(&per_task));
             sim.spawn_on(cpu, move |t| async move {
-                while t.now() < WINDOW {
+                while t.now() < window {
                     l.acquire(&t).await;
                     t.advance(300).await;
                     l.release(&t).await;
@@ -143,18 +159,19 @@ fn sweep_max_batch() {
         sim.run();
         let pt = per_task.borrow();
         let total: u64 = pt.iter().sum();
-        println!(
-            "| {batch} | {:.0} | {}..{} |",
-            total as f64 / 3.0,
-            pt.iter().min().unwrap(),
-            pt.iter().max().unwrap()
-        );
+        (total, *pt.iter().min().unwrap(), *pt.iter().max().unwrap())
+    };
+    let batches = [1u32, 8, 32, 128, 100_000];
+    let vals = run_points(&batches, |&b| run(b));
+    for (batch, (total, min, max)) in batches.iter().zip(vals) {
+        println!("| {batch} | {:.0} | {min}..{max} |", total as f64 / window_ms);
     }
     println!();
 }
 
 fn main() {
-    sweep_cross_socket();
-    sweep_patched_entry();
-    sweep_max_batch();
+    let window = run_window_ms() * 1_000_000;
+    sweep_cross_socket(window);
+    sweep_patched_entry(window);
+    sweep_max_batch(window);
 }

@@ -1,8 +1,9 @@
 //! Regenerates Fig. 2(a): will-it-scale `page_fault2` — Stock vs BRAVO vs
 //! Concord-BRAVO, ops/msec over the thread sweep.
 
+use c3_bench::sweep::sweep_rows;
 use c3_bench::workloads::{run_page_fault2, RwSeries};
-use c3_bench::{report::Report, run_window_ms, SWEEP};
+use c3_bench::{report::Report, run_window_ms, sweep_threads};
 
 fn main() {
     let window = run_window_ms() * 1_000_000;
@@ -11,22 +12,19 @@ fn main() {
         "ops/msec",
         &["Stock", "BRAVO", "Concord-BRAVO"],
     );
-    for &n in SWEEP {
-        let row = [RwSeries::Stock, RwSeries::Bravo, RwSeries::ConcordBravo].map(|s| {
-            // Average over seeds: single runs of a deterministic simulator
-            // can sit on sharp transition points.
-            let seeds = [42u64, 43, 44];
-            seeds
-                .iter()
-                .map(|&sd| run_page_fault2(n, s, window, sd))
-                .sum::<f64>()
-                / seeds.len() as f64
-        });
+    let series = [RwSeries::Stock, RwSeries::Bravo, RwSeries::ConcordBravo];
+    // Average over seeds: single runs of a deterministic simulator can sit
+    // on sharp transition points. Every (threads, series, seed) run is an
+    // independent simulation, fanned out across the worker pool.
+    let rows = sweep_rows(&sweep_threads(), series.len(), &[42, 43, 44], |n, s, sd| {
+        run_page_fault2(n, series[s], window, sd)
+    });
+    for (n, row) in rows {
         eprintln!(
             "threads={n:<3} stock={:>10.1} bravo={:>10.1} concord-bravo={:>10.1}",
             row[0], row[1], row[2]
         );
-        report.push(n, row.to_vec());
+        report.push(n, row);
     }
     println!("{}", report.to_markdown());
     match report.save_csv("fig2a_page_fault2") {

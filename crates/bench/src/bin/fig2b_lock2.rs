@@ -2,8 +2,9 @@
 //! (compiled-in NUMA policy) vs Concord-ShflLock (verified bytecode NUMA
 //! policy), ops/msec over the thread sweep.
 
+use c3_bench::sweep::sweep_rows;
 use c3_bench::workloads::{run_lock2, SpinSeries};
-use c3_bench::{report::Report, run_window_ms, SWEEP};
+use c3_bench::{report::Report, run_window_ms, sweep_threads};
 
 fn main() {
     let window = run_window_ms() * 1_000_000;
@@ -12,27 +13,23 @@ fn main() {
         "ops/msec",
         &["Stock", "ShflLock", "Concord-ShflLock"],
     );
-    for &n in SWEEP {
-        let row = [
-            SpinSeries::StockMcs,
-            SpinSeries::ShflNuma,
-            SpinSeries::ConcordShflNuma,
-        ]
-        .map(|s| {
-            // Average over seeds: single runs of a deterministic simulator
-            // can sit on sharp transition points.
-            let seeds = [42u64, 43, 44];
-            seeds
-                .iter()
-                .map(|&sd| run_lock2(n, s, window, sd))
-                .sum::<f64>()
-                / seeds.len() as f64
-        });
+    let series = [
+        SpinSeries::StockMcs,
+        SpinSeries::ShflNuma,
+        SpinSeries::ConcordShflNuma,
+    ];
+    // Average over seeds: single runs of a deterministic simulator can sit
+    // on sharp transition points. Every (threads, series, seed) run is an
+    // independent simulation, fanned out across the worker pool.
+    let rows = sweep_rows(&sweep_threads(), series.len(), &[42, 43, 44], |n, s, sd| {
+        run_lock2(n, series[s], window, sd)
+    });
+    for (n, row) in rows {
         eprintln!(
             "threads={n:<3} stock={:>10.1} shfl={:>10.1} concord-shfl={:>10.1}",
             row[0], row[1], row[2]
         );
-        report.push(n, row.to_vec());
+        report.push(n, row);
     }
     println!("{}", report.to_markdown());
     match report.save_csv("fig2b_lock2") {

@@ -2,8 +2,9 @@
 //! normalized throughput of Concord-ShflLock (attached no-op policy, the
 //! worst case) against the unpatched lock.
 
+use c3_bench::sweep::sweep_rows;
 use c3_bench::workloads::{run_hashtable, HtSeries};
-use c3_bench::{report::Report, run_window_ms, SWEEP};
+use c3_bench::{report::Report, run_window_ms, sweep_threads};
 
 fn main() {
     let window = run_window_ms() * 1_000_000;
@@ -12,18 +13,15 @@ fn main() {
         "normalized throughput (and raw ops/msec)",
         &["ShflLock", "Concord-ShflLock", "normalized"],
     );
+    let series = [HtSeries::Baseline, HtSeries::ConcordNoop];
+    // Seed-averaged pairs per thread count, fanned out across the worker
+    // pool; the normalized column is derived after reassembly.
+    let rows = sweep_rows(&sweep_threads(), series.len(), &[42, 43, 44], |n, s, sd| {
+        run_hashtable(n, series[s], window, sd)
+    });
     let mut worst = f64::INFINITY;
-    for &n in SWEEP {
-        let seeds = [42u64, 43, 44];
-        let avg = |series| {
-            seeds
-                .iter()
-                .map(|&sd| run_hashtable(n, series, window, sd))
-                .sum::<f64>()
-                / seeds.len() as f64
-        };
-        let base = avg(HtSeries::Baseline);
-        let noop = avg(HtSeries::ConcordNoop);
+    for (n, row) in rows {
+        let (base, noop) = (row[0], row[1]);
         let norm = noop / base;
         worst = worst.min(norm);
         eprintln!("threads={n:<3} base={base:>10.1} concord={noop:>10.1} normalized={norm:.3}");

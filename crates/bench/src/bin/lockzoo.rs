@@ -6,7 +6,8 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use c3_bench::{report::Report, run_window_ms, SWEEP};
+use c3_bench::sweep::sweep_rows;
+use c3_bench::{report::Report, run_window_ms, sweep_threads};
 use ksim::SimBuilder;
 use simlocks::{NativePolicy, SimMcsLock, SimShflLock, SimTasLock, SimTicketLock};
 
@@ -72,8 +73,10 @@ fn main() {
     let window = run_window_ms() * 1_000_000;
     let kinds = ["tas", "ticket", "mcs", "shfl_fifo", "shfl_numa"];
     let mut report = Report::new("Lock zoo scalability", "ops/msec", &kinds);
-    for &n in SWEEP {
-        let row: Vec<f64> = kinds.iter().map(|k| run(k, n, window, 42)).collect();
+    let rows = sweep_rows(&sweep_threads(), kinds.len(), &[42], |n, k, sd| {
+        run(kinds[k], n, window, sd)
+    });
+    for (n, row) in rows {
         eprintln!(
             "threads={n:<3} tas={:>8.0} ticket={:>8.0} mcs={:>8.0} shfl={:>8.0} shfl_numa={:>8.0}",
             row[0], row[1], row[2], row[3], row[4]

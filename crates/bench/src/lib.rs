@@ -15,16 +15,40 @@
 
 pub mod hashtable;
 pub mod report;
+pub mod sweep;
 pub mod workloads;
 
 /// Thread counts swept by the figures, matching the paper's x-axis.
 pub const SWEEP: &[u32] = &[1, 2, 4, 8, 10, 20, 30, 40, 50, 60, 70, 80];
 
+/// Thread counts to actually sweep: `C3_BENCH_THREADS` (comma-separated)
+/// overrides the paper's x-axis, e.g. `C3_BENCH_THREADS=8` for a smoke
+/// run regenerating one point per figure (`scripts/smoke.sh`).
+pub fn sweep_threads() -> Vec<u32> {
+    match std::env::var("C3_BENCH_THREADS") {
+        Ok(s) => {
+            let v: Vec<u32> = s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect();
+            assert!(!v.is_empty(), "C3_BENCH_THREADS has no valid thread counts");
+            v
+        }
+        Err(_) => SWEEP.to_vec(),
+    }
+}
+
 /// Virtual milliseconds each configuration runs for.
 ///
-/// `C3_BENCH_MODE=full` lengthens runs for smoother curves; the default
-/// keeps a full figure under a few minutes on a small host.
+/// `C3_BENCH_WINDOW_MS` pins the window directly (smoke mode);
+/// otherwise `C3_BENCH_MODE=full` lengthens runs for smoother curves and
+/// the default keeps a full figure under a few minutes on a small host.
 pub fn run_window_ms() -> u64 {
+    if let Ok(ms) = std::env::var("C3_BENCH_WINDOW_MS") {
+        if let Ok(v) = ms.parse::<u64>() {
+            return v.max(1);
+        }
+    }
     match std::env::var("C3_BENCH_MODE").as_deref() {
         Ok("full") => 8,
         _ => 3,

@@ -59,6 +59,7 @@ pub mod helpers;
 pub mod insn;
 pub mod interp;
 pub mod map;
+pub mod prepare;
 pub mod program;
 pub mod store;
 pub mod verifier;
@@ -70,6 +71,7 @@ pub use helpers::{FixedEnv, HelperId, PolicyEnv};
 pub use insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg};
 pub use interp::run_program;
 pub use map::{Map, MapDef, MapKind};
+pub use prepare::PreparedProgram;
 pub use program::{Program, ProgramBuilder};
 pub use store::ObjectStore;
 pub use verifier::verify;

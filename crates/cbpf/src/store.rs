@@ -17,15 +17,20 @@ use parking_lot::RwLock;
 use crate::ctx::CtxLayout;
 use crate::error::VerifyError;
 use crate::map::Map;
+use crate::prepare::PreparedProgram;
 use crate::program::Program;
 use crate::verifier::{verify_with_rules, HookRules};
 
 /// A program that has passed verification against a specific layout and
 /// hook rules; the only currency [`ObjectStore`] accepts.
+///
+/// Verification also lowers the program to its [`PreparedProgram`] fast
+/// execution form once, so every attach site shares the pre-decoded code.
 #[derive(Clone)]
 pub struct VerifiedProgram {
     prog: Arc<Program>,
     layout: CtxLayout,
+    prepared: Arc<PreparedProgram>,
 }
 
 impl VerifiedProgram {
@@ -36,9 +41,11 @@ impl VerifiedProgram {
     /// Propagates the verifier's rejection.
     pub fn new(prog: Program, layout: &CtxLayout, rules: &HookRules) -> Result<Self, VerifyError> {
         verify_with_rules(&prog, layout, rules)?;
+        let prepared = prog.prepare(layout);
         Ok(VerifiedProgram {
             prog: Arc::new(prog),
             layout: layout.clone(),
+            prepared: Arc::new(prepared),
         })
     }
 
@@ -50,6 +57,11 @@ impl VerifiedProgram {
     /// The layout the program was verified against.
     pub fn layout(&self) -> &CtxLayout {
         &self.layout
+    }
+
+    /// The pre-decoded execution form; the path hook tables should run.
+    pub fn prepared(&self) -> &Arc<PreparedProgram> {
+        &self.prepared
     }
 }
 

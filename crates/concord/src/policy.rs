@@ -6,7 +6,6 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cbpf::interp::run_with_budget;
 use cbpf::store::VerifiedProgram;
 use ksim::Sim;
 use locks::hooks::{
@@ -70,13 +69,7 @@ impl BytecodePolicy {
 
     fn run(&self, ctx: &mut [u8]) -> u64 {
         self.invocations.fetch_add(1, Ordering::Relaxed);
-        match run_with_budget(
-            self.prog.program(),
-            ctx,
-            self.prog.layout(),
-            &*self.env,
-            HOOK_BUDGET,
-        ) {
+        match self.prog.prepared().run(ctx, &*self.env, HOOK_BUDGET) {
             Ok(report) => report.ret,
             Err(_) => {
                 // A fault means a verifier bug; fail safe: "no decision".
@@ -252,7 +245,7 @@ impl SimBytecodePolicy {
             priorities: Arc::clone(&self.priorities),
             sim: Some(self.sim.clone()),
         };
-        match run_with_budget(prog.program(), ctx, prog.layout(), &env, HOOK_BUDGET) {
+        match prog.prepared().run(ctx, &env, HOOK_BUDGET) {
             Ok(report) => (report.ret, HOOK_CALL_NS + report.insns * NS_PER_INSN),
             Err(_) => {
                 self.faults.set(self.faults.get() + 1);

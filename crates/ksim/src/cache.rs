@@ -148,7 +148,7 @@ impl CacheModel {
     /// Prices a store (or the write half of an RMW) from `socket` and
     /// updates residency to exclusive. Watchers are *not* taken here: the
     /// caller wakes them at operation completion via
-    /// [`CacheModel::take_watchers`], so a task that registers during the
+    /// [`CacheModel::swap_watchers`], so a task that registers during the
     /// operation's latency window is still woken.
     pub(crate) fn store_cost(&mut self, line: LineId, socket: SocketId) -> u64 {
         self.stores += 1;
@@ -185,10 +185,14 @@ impl CacheModel {
         cost
     }
 
-    /// Removes and returns the watchers of `line` (wake at store/RMW
-    /// completion).
-    pub(crate) fn take_watchers(&mut self, line: LineId) -> Vec<TaskId> {
-        std::mem::take(&mut self.lines[line.0 as usize].watchers)
+    /// Moves the watchers of `line` into `buf` (wake at store/RMW
+    /// completion) by buffer swap, leaving the line with `buf`'s empty,
+    /// capacity-retaining allocation. Steady-state wake cycles therefore
+    /// allocate nothing: buffers circulate between the lines and the
+    /// executor's scratch vector instead of being freed and regrown.
+    pub(crate) fn swap_watchers(&mut self, line: LineId, buf: &mut Vec<TaskId>) {
+        debug_assert!(buf.is_empty());
+        std::mem::swap(&mut self.lines[line.0 as usize].watchers, buf);
     }
 
     /// Registers `task` to be woken when `line` is next written.
@@ -216,6 +220,12 @@ mod tests {
 
     fn model() -> CacheModel {
         CacheModel::new(LatencyModel::default())
+    }
+
+    fn take_watchers(m: &mut CacheModel, l: LineId) -> Vec<TaskId> {
+        let mut buf = Vec::new();
+        m.swap_watchers(l, &mut buf);
+        buf
     }
 
     #[test]
@@ -300,8 +310,8 @@ mod tests {
         m.watch(l, TaskId(7));
         m.watch(l, TaskId(9));
         m.watch(l, TaskId(7)); // Duplicate registration is a no-op.
-        assert_eq!(m.take_watchers(l), vec![TaskId(7), TaskId(9)]);
-        assert!(m.take_watchers(l).is_empty());
+        assert_eq!(take_watchers(&mut m, l), vec![TaskId(7), TaskId(9)]);
+        assert!(take_watchers(&mut m, l).is_empty());
     }
 
     #[test]
@@ -310,6 +320,28 @@ mod tests {
         let l = m.alloc_line();
         m.watch(l, TaskId(1));
         m.unwatch(l, TaskId(1));
-        assert!(m.take_watchers(l).is_empty());
+        assert!(take_watchers(&mut m, l).is_empty());
+    }
+
+    #[test]
+    fn swapped_out_buffer_capacity_returns_to_the_line() {
+        let mut m = model();
+        let l = m.alloc_line();
+        m.watch(l, TaskId(1));
+        m.watch(l, TaskId(2));
+        let mut buf = Vec::new();
+        m.swap_watchers(l, &mut buf);
+        assert_eq!(buf, vec![TaskId(1), TaskId(2)]);
+        let cap = buf.capacity();
+        buf.clear();
+        // Give the drained buffer back: the line now owns its capacity.
+        m.swap_watchers(l, &mut buf);
+        assert!(buf.is_empty());
+        m.watch(l, TaskId(3));
+        m.watch(l, TaskId(4));
+        let mut buf2 = Vec::new();
+        m.swap_watchers(l, &mut buf2);
+        assert_eq!(buf2, vec![TaskId(3), TaskId(4)]);
+        assert!(buf2.capacity() >= cap);
     }
 }

@@ -79,8 +79,7 @@ impl<T: Copy + 'static> SimCell<T> {
             .store_cost(self.line, t.socket());
         t.advance(cost).await;
         self.val.set(v);
-        let watchers = t.shared.cache.borrow_mut().take_watchers(self.line);
-        t.wake_watchers(watchers, t.latency().load_hit);
+        t.wake_watchers(self.line, t.latency().load_hit);
     }
 
     /// Charged atomic read-modify-write, applied at completion; returns
@@ -94,8 +93,7 @@ impl<T: Copy + 'static> SimCell<T> {
         t.advance(base + t.latency().rmw_extra).await;
         let old = self.val.get();
         self.val.set(f(old));
-        let watchers = t.shared.cache.borrow_mut().take_watchers(self.line);
-        t.wake_watchers(watchers, t.latency().load_hit);
+        t.wake_watchers(self.line, t.latency().load_hit);
         old
     }
 
@@ -116,8 +114,7 @@ impl<T: Copy + 'static> SimCell<T> {
         let old = self.val.get();
         if old == expected {
             self.val.set(new);
-            let watchers = t.shared.cache.borrow_mut().take_watchers(self.line);
-            t.wake_watchers(watchers, t.latency().load_hit);
+            t.wake_watchers(self.line, t.latency().load_hit);
             Ok(old)
         } else {
             // Value unchanged: watchers stay registered for the next write.

@@ -69,6 +69,11 @@ pub(crate) struct Shared {
     /// a hypervisor may take a vCPU away; events for tasks pinned there
     /// are deferred to the end of the window).
     offline_until: RefCell<Vec<u64>>,
+    /// Scratch buffer for draining watcher lists without allocating: it is
+    /// swapped against a line's watcher vector on every wake, so buffers
+    /// (and their capacity) circulate instead of being freed and regrown
+    /// on each store/RMW (see [`TaskCtx::wake_watchers`]).
+    wake_scratch: RefCell<Vec<TaskId>>,
 }
 
 impl Shared {
@@ -170,7 +175,12 @@ impl SimBuilder {
             shared: Rc::new(Shared {
                 now: Cell::new(0),
                 seq: Cell::new(0),
-                heap: RefCell::new(BinaryHeap::new()),
+                // Pre-size for one in-flight event per CPU (the steady
+                // state of a saturated machine) so early pushes don't
+                // regrow the heap's backing buffer.
+                heap: RefCell::new(BinaryHeap::with_capacity(
+                    self.topology.num_cpus() as usize * 2,
+                )),
                 tasks: RefCell::new(Vec::new()),
                 cache: RefCell::new(CacheModel::new(self.latency)),
                 topo: self.topology,
@@ -181,6 +191,7 @@ impl SimBuilder {
                 next_obj_id: Cell::new(1),
                 trace_log: RefCell::new(None),
                 offline_until: RefCell::new(vec![0; self.topology.num_cpus() as usize]),
+                wake_scratch: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -371,9 +382,29 @@ impl Sim {
         *self.shared.trace_log.borrow_mut() = if on { Some(Vec::new()) } else { None };
     }
 
-    /// The captured event sequence, if capture was enabled.
-    pub fn trace(&self) -> Vec<(u64, u32)> {
-        self.shared.trace_log.borrow().clone().unwrap_or_default()
+    /// The captured event sequence, if capture was enabled: a borrowed
+    /// view — no copy is made. Empty when capture is off.
+    ///
+    /// The returned guard borrows the log; drop it before resuming the
+    /// simulation (running while it is held would panic on the interior
+    /// borrow). To keep the data across further simulation, use
+    /// [`Sim::take_trace`].
+    pub fn trace(&self) -> std::cell::Ref<'_, [(u64, u32)]> {
+        std::cell::Ref::map(self.shared.trace_log.borrow(), |log| {
+            log.as_deref().unwrap_or(&[])
+        })
+    }
+
+    /// Moves the captured event sequence out, leaving capture enabled
+    /// with a fresh empty log. Returns an empty vector if capture was
+    /// never enabled.
+    pub fn take_trace(&self) -> Vec<(u64, u32)> {
+        self.shared
+            .trace_log
+            .borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Allocates a per-simulation object id (lock identities); determinism
@@ -494,12 +525,24 @@ impl TaskCtx {
         self.shared.cache.borrow_mut().unwatch(line, self.id);
     }
 
-    /// Wakes every task in `watchers` after the given per-wake cost.
-    pub(crate) fn wake_watchers(&self, watchers: Vec<TaskId>, cost: u64) {
+    /// Wakes every current watcher of `line` after the given per-wake
+    /// cost.
+    ///
+    /// The watcher list is drained by swapping it against the executor's
+    /// scratch buffer, so the steady state allocates nothing: the line
+    /// inherits an empty vector that retains capacity from a previous
+    /// cycle, and the drained buffer becomes the next scratch.
+    pub(crate) fn wake_watchers(&self, line: LineId, cost: u64) {
+        let mut scratch = self.shared.wake_scratch.take();
+        self.shared
+            .cache
+            .borrow_mut()
+            .swap_watchers(line, &mut scratch);
         let now = self.shared.now();
-        for w in watchers {
+        for w in scratch.drain(..) {
             self.shared.schedule(w, now + cost);
         }
+        *self.shared.wake_scratch.borrow_mut() = scratch;
     }
 
     /// CPU and socket of another task (used by topology-aware policies).
@@ -754,5 +797,39 @@ mod tests {
         let c = run(8);
         assert_eq!(a, b);
         assert_ne!(a.trace_hash, c.trace_hash);
+    }
+
+    #[test]
+    fn trace_capture_is_borrowed_and_takeable() {
+        let sim = SimBuilder::new().build();
+        sim.capture_trace(true);
+        sim.spawn_on(CpuId(0), |t| async move {
+            t.advance(10).await;
+            t.advance(20).await;
+        });
+        let stats = sim.run();
+        // The borrowed view sees every processed event without copying.
+        assert_eq!(sim.trace().len() as u64, stats.events);
+        assert_eq!(sim.trace().last(), Some(&(30, 0)));
+        // Taking moves the log out but leaves capture enabled.
+        let log = sim.take_trace();
+        assert_eq!(log.len() as u64, stats.events);
+        assert!(sim.trace().is_empty());
+        sim.spawn_on(CpuId(1), |t| async move {
+            t.advance(5).await;
+        });
+        sim.run();
+        assert!(!sim.trace().is_empty(), "capture stays on after take");
+    }
+
+    #[test]
+    fn trace_is_empty_when_capture_disabled() {
+        let sim = SimBuilder::new().build();
+        sim.spawn_on(CpuId(0), |t| async move {
+            t.advance(10).await;
+        });
+        sim.run();
+        assert!(sim.trace().is_empty());
+        assert!(sim.take_trace().is_empty());
     }
 }

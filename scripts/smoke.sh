@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Smoke pass: build, test, and regenerate one sweep point per figure in a
+# few minutes. Uses the env knobs in crates/bench/src/lib.rs:
+#   C3_BENCH_WINDOW_MS  virtual window per configuration (default 3)
+#   C3_BENCH_THREADS    thread counts to sweep (default: the paper x-axis)
+#   C3_BENCH_WORKERS    sweep worker threads (default: host parallelism)
+# Smoke CSVs land in results/smoke/ so committed figure data is untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+export C3_BENCH_WINDOW_MS="${C3_BENCH_WINDOW_MS:-1}"
+export C3_BENCH_THREADS="${C3_BENCH_THREADS:-8}"
+export C3_RESULTS_DIR="${C3_RESULTS_DIR:-results/smoke}"
+
+for bin in fig2a_page_fault2 fig2b_lock2 fig2c_hashtable lockzoo; do
+    echo "== $bin (threads=$C3_BENCH_THREADS, window=${C3_BENCH_WINDOW_MS}ms) =="
+    ./target/release/"$bin" >/dev/null
+done
+echo "== ablations (window=${C3_BENCH_WINDOW_MS}ms) =="
+./target/release/ablations >/dev/null
+echo "== table1_api_hazards =="
+./target/release/table1_api_hazards >/dev/null
+
+echo "smoke ok: csvs in $C3_RESULTS_DIR"

@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam-utils` crate: just [`CachePadded`].
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so neighbouring values never share
+/// a cache line (128 covers the spatial-prefetcher pairing on x86 and the
+/// 128-byte lines on some aarch64 parts).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in the padded container.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_access() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let mut c = CachePadded::new(5u64);
+        *c += 1;
+        assert_eq!(*c, 6);
+        assert_eq!(c.into_inner(), 6);
+    }
+}

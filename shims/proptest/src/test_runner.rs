@@ -1,0 +1,117 @@
+//! The runner side: configuration, the deterministic RNG, and the error
+//! type `prop_assert!` produces.
+
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (unused by the shim, kept for parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic splitmix64 stream, seeded from the test name and case
+/// index so every run (and every failure report) reproduces exactly.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// The RNG for one generated case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(h ^ (u64::from(case) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// An RNG from an explicit seed (for harnesses outside `proptest!`).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 for `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let mut c = TestRng::for_case("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+}
