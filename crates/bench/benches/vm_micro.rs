@@ -84,7 +84,7 @@ fn bench_interp(c: &mut Criterion) {
         HookKind::CmpNode,
         Arc::new(concord::env::RealEnv::new()),
     );
-    let f = policy.as_cmp_node();
+    let f = policy.as_cmp_node().unwrap();
     g.bench_function("hook_closure_end_to_end", |b| b.iter(|| f(&ctx)));
     g.finish();
 }

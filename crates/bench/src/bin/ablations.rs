@@ -5,7 +5,10 @@
 //! 2. patched-entry cost vs Fig. 2(c) worst-case overhead — the
 //!    calibration knob behind `TRAMPOLINE_NS`;
 //! 3. the `MAX_BATCH` fairness bound vs throughput and fairness —
-//!    the cost of the §4.2 starvation guard.
+//!    the cost of the §4.2 starvation guard;
+//! 4. armed fault containment (breaker check + inert fault injector on
+//!    every hook invocation) vs the Fig. 2(c) no-op worst case — the
+//!    price of the runtime safety net when nothing ever faults.
 //!
 //! Each ablation's configurations are independent simulations, fanned out
 //! across the sweep worker pool; rows print in configuration order.
@@ -169,9 +172,37 @@ fn sweep_max_batch(window: u64) {
     println!();
 }
 
+fn sweep_containment(window: u64) {
+    use c3_bench::workloads::{run_hashtable, HtSeries};
+
+    println!("### Ablation 4: armed-containment overhead on the Fig. 2(c) worst case");
+    println!("| threads | no-op ops/ms | contained ops/ms | contained/no-op |");
+    println!("|---|---|---|---|");
+    let threads = [1u32, 4, 8, 16, 28];
+    let points: Vec<(u32, HtSeries)> = threads
+        .iter()
+        .flat_map(|&n| [(n, HtSeries::ConcordNoop), (n, HtSeries::ConcordNoopContained)])
+        .collect();
+    let vals = run_points(&points, |&(n, s)| run_hashtable(n, s, window, 42));
+    let mut worst = f64::INFINITY;
+    for (i, &n) in threads.iter().enumerate() {
+        let (noop, contained) = (vals[2 * i], vals[2 * i + 1]);
+        let norm = contained / noop;
+        worst = worst.min(norm);
+        println!("| {n} | {noop:.0} | {contained:.0} | {norm:.3} |");
+    }
+    println!("\nworst-case armed-containment throughput: {worst:.3} (budget: ≥0.95)");
+    assert!(
+        worst >= 0.95,
+        "armed-containment overhead exceeds the 5% budget: {worst:.3}"
+    );
+    println!();
+}
+
 fn main() {
     let window = run_window_ms() * 1_000_000;
     sweep_cross_socket(window);
     sweep_patched_entry(window);
     sweep_max_batch(window);
+    sweep_containment(window);
 }

@@ -12,7 +12,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use ksim::SimBuilder;
+use concord::watchdog::{detect, WatchdogConfig, WindowStats};
+use concord::Concord;
+use ksim::{Histogram, SimBuilder};
 use locks::hooks::{CmpNodeCtx, Hazard, HookKind, LockEventCtx, SkipShuffleCtx};
 use locks::RawLock;
 use simlocks::policy::{Decision, SimPolicy};
@@ -153,6 +155,134 @@ fn cs_growth_hazard() -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// Starving reorder policy: every task except each eighth one moves
+/// forward past the victims on every shuffle phase — the worst-case
+/// fairness hazard a `cmp_node` policy can express.
+struct StarvingPolicy;
+
+impl SimPolicy for StarvingPolicy {
+    fn cmp_node(&self, c: &CmpNodeCtx) -> Decision {
+        (!c.curr.tid.is_multiple_of(8), 5)
+    }
+    fn skip_shuffle(&self, _: &SkipShuffleCtx) -> Decision {
+        (false, 5)
+    }
+}
+
+/// Uniform-slowdown policy: charges virtual time on the acquire path of
+/// every task (a policy doing expensive work per lock operation) — the
+/// performance hazard without any fairness skew or hold-time growth.
+struct SlowAcquirePath(u64);
+
+impl SimPolicy for SlowAcquirePath {
+    fn cmp_node(&self, _: &CmpNodeCtx) -> Decision {
+        (false, 0)
+    }
+    fn skip_shuffle(&self, _: &SkipShuffleCtx) -> Decision {
+        (true, 0)
+    }
+    fn on_event(&self, kind: HookKind, _: &LockEventCtx) -> u64 {
+        if kind == HookKind::LockAcquire {
+            self.0
+        } else {
+            0
+        }
+    }
+    fn wants_event(&self, kind: HookKind) -> bool {
+        kind == HookKind::LockAcquire
+    }
+}
+
+/// One time-bounded observation window with `policy` attached, measured
+/// the way the real-lock profiler measures: wait = acquire latency,
+/// hold = acquired → released, both in virtual time. Returns the
+/// distilled stats and the lock for quarantining.
+fn observed_window(policy: Option<Rc<dyn SimPolicy>>) -> (WindowStats, Rc<SimShflLock>, u64) {
+    const TASKS: usize = 40;
+    const WINDOW: u64 = 3_000_000;
+    let sim = SimBuilder::new().seed(11).build();
+    let lock = Rc::new(SimShflLock::new(&sim));
+    if let Some(p) = policy {
+        lock.set_policy(p);
+    }
+    let wait = Rc::new(RefCell::new(Histogram::new()));
+    let hold = Rc::new(RefCell::new(Histogram::new()));
+    for cpu in sim.topology().compact_placement(TASKS) {
+        let (l, w, h) = (Rc::clone(&lock), Rc::clone(&wait), Rc::clone(&hold));
+        sim.spawn_on(cpu, move |t| async move {
+            while t.now() < WINDOW {
+                let t0 = t.now();
+                l.acquire(&t).await;
+                let t1 = t.now();
+                w.borrow_mut().record(t1 - t0);
+                t.advance(300).await;
+                l.release(&t).await;
+                h.borrow_mut().record(t.now() - t1);
+                t.advance(150 + t.rng_u64() % 600).await;
+            }
+        });
+    }
+    let stats = sim.run();
+    let window = WindowStats::from_hists(&wait.borrow(), &hold.borrow());
+    (window, lock, stats.final_time_ns)
+}
+
+/// The watchdog column: each hazardous policy from the measurement
+/// sections, detected against the unpatched baseline window and
+/// auto-reverted (sim quarantine) within one bounded window.
+fn watchdog_column() {
+    let concord = Concord::new();
+    let cfg = WatchdogConfig::default();
+    let (baseline, _, _) = observed_window(None);
+    println!(
+        "  baseline window: {} acquisitions, wait p50 {} ns, hold mean {:.0} ns\n",
+        baseline.acquisitions, baseline.wait_p50, baseline.hold_mean
+    );
+    println!("| policy | hazard detected | watchdog action |");
+    println!("|---|---|---|");
+    let cases: Vec<(&str, HookKind, Rc<dyn SimPolicy>)> = vec![
+        (
+            "starving cmp_node",
+            HookKind::CmpNode,
+            Rc::new(StarvingPolicy),
+        ),
+        (
+            "150 µs acquire-path work",
+            HookKind::ScheduleWaiter,
+            Rc::new(SlowAcquirePath(150_000)),
+        ),
+        (
+            "2 µs event profiling",
+            HookKind::LockRelease,
+            Rc::new(HeavyProfiling(2_000)),
+        ),
+    ];
+    for (name, hook, policy) in cases {
+        let (current, lock, now_ns) = observed_window(Some(policy));
+        match detect(&baseline, &current, &cfg) {
+            Some(report) => {
+                let record = concord.quarantine_sim(
+                    &lock,
+                    "table1_lock",
+                    hook,
+                    name,
+                    format!("watchdog: {:?} hazard — {}", report.hazard, report.detail),
+                    now_ns,
+                );
+                println!(
+                    "| {name} | {:?} within {} acquisitions | auto-reverted to FIFO ({}) |",
+                    report.hazard, current.acquisitions, record.reason
+                );
+            }
+            None => println!("| {name} | none | left attached |"),
+        }
+    }
+    println!(
+        "\n  {} quarantine record(s) filed in the registry",
+        concord.registry().all_quarantines().len()
+    );
+}
+
 fn main() {
     println!("### Table 1 — Concord APIs and their hazards\n");
     println!("| API | Description | Hazard |");
@@ -185,4 +315,7 @@ fn main() {
     for (w, norm) in cs_growth_hazard() {
         println!("    {w:>5} ns/event → {norm:.3}");
     }
+
+    println!("\n### Watchdog — hazard detection and auto-revert\n");
+    watchdog_column();
 }

@@ -242,7 +242,7 @@ fn profiling_granularity() -> String {
     }
     let report = prof.report();
     let seen = prof.profile("lock1").unwrap().counters().0;
-    prof.detach(&concord);
+    prof.detach(&concord).expect("profiler detaches");
     format!("profiled only lock1: saw {seen} acquisitions there, locks 0/2 unobserved\n{report}")
 }
 

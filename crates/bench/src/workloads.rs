@@ -75,6 +75,11 @@ pub enum HtSeries {
     /// ShflLock patched by Concord with a policy that runs no user code —
     /// the paper's worst case.
     ConcordNoop,
+    /// The worst case with fault containment armed: the no-op policy
+    /// behind a circuit breaker and an inert (never-firing) fault
+    /// injector, so every hook invocation pays the breaker check and the
+    /// injector sample on top of the trampoline.
+    ConcordNoopContained,
 }
 
 fn sim_for(seed: u64) -> Sim {
@@ -248,8 +253,24 @@ pub fn run_lock2(threads: u32, series: SpinSeries, window_ns: u64, seed: u64) ->
 pub fn run_hashtable(threads: u32, series: HtSeries, window_ns: u64, seed: u64) -> f64 {
     let sim = sim_for(seed);
     let lock = Rc::new(SimShflLock::new(&sim));
-    if series == HtSeries::ConcordNoop {
-        lock.set_policy(Rc::new(concord::policy::AttachedNoopPolicy));
+    match series {
+        HtSeries::Baseline => {}
+        HtSeries::ConcordNoop => {
+            lock.set_policy(Rc::new(concord::policy::AttachedNoopPolicy));
+        }
+        HtSeries::ConcordNoopContained => {
+            use cbpf::fault::{FaultInjector, FaultPlan};
+            use concord::containment::{Breaker, BreakerConfig, ContainedPolicy};
+            use std::sync::Arc;
+            let breaker = Arc::new(Breaker::new(BreakerConfig::default()));
+            let injector = Arc::new(FaultInjector::new(FaultPlan::inert(seed)));
+            lock.set_policy(Rc::new(ContainedPolicy::new(
+                &sim,
+                Rc::new(concord::policy::AttachedNoopPolicy),
+                breaker,
+                Some(injector),
+            )));
+        }
     }
     let table = Rc::new(RefCell::new(HashTable::new(HT_BUCKETS)));
     // Pre-populate to the steady-state load factor.
@@ -313,11 +334,26 @@ mod tests {
     }
 
     #[test]
-    fn hashtable_both_series_run() {
-        for series in [HtSeries::Baseline, HtSeries::ConcordNoop] {
+    fn hashtable_all_series_run() {
+        for series in [
+            HtSeries::Baseline,
+            HtSeries::ConcordNoop,
+            HtSeries::ConcordNoopContained,
+        ] {
             let tp = run_hashtable(4, series, W, 1);
             assert!(tp > 0.0, "{series:?} produced no throughput");
         }
+    }
+
+    #[test]
+    fn armed_containment_stays_within_five_percent_of_bare_noop() {
+        let noop = run_hashtable(8, HtSeries::ConcordNoop, W, 3);
+        let contained = run_hashtable(8, HtSeries::ConcordNoopContained, W, 3);
+        let norm = contained / noop;
+        assert!(
+            norm >= 0.95 && norm <= 1.02,
+            "armed containment overhead out of budget: {norm:.3}"
+        );
     }
 
     #[test]

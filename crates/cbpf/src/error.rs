@@ -288,6 +288,63 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Coarse classification of a runtime fault — the taxonomy Concord's
+/// containment layer keys its fault counters and breaker decisions on.
+///
+/// The verifier proves memory and termination safety, so for verified
+/// programs only [`FaultKind::Budget`] (defense-in-depth instruction
+/// budget) and injected faults are reachable; the other kinds exist for
+/// out-of-contract programs and the fault-injection harness.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// The per-invocation instruction budget ran out.
+    Budget,
+    /// The program trapped: bad pc, bad memory access, uninitialized
+    /// register, or fell off the end.
+    Trap,
+    /// A non-map helper call failed at runtime.
+    Helper,
+    /// A map helper call failed (bad map ref, unknown map, bad key/value
+    /// buffer).
+    Map,
+}
+
+impl FaultKind {
+    /// All kinds, in counter-index order (see [`FaultKind::index`]).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Budget,
+        FaultKind::Trap,
+        FaultKind::Helper,
+        FaultKind::Map,
+    ];
+
+    /// Stable dense index for per-kind counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::Budget => 0,
+            FaultKind::Trap => 1,
+            FaultKind::Helper => 2,
+            FaultKind::Map => 3,
+        }
+    }
+
+    /// Stable name for reports and quarantine records.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Budget => "budget",
+            FaultKind::Trap => "trap",
+            FaultKind::Helper => "helper",
+            FaultKind::Map => "map",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Runtime fault from the interpreter.
 ///
 /// A verified program never produces any of these except
@@ -328,6 +385,26 @@ pub enum RunError {
     },
     /// `exit` never executed (program ended without it).
     NoExit,
+}
+
+impl RunError {
+    /// Classifies the fault for the containment taxonomy.
+    ///
+    /// Map helpers occupy ids 1–3 (`map_lookup_elem`, `map_update_elem`,
+    /// `map_delete_elem`); the `ldmap` unknown-map trap reports helper 0
+    /// with a map message — both classify as [`FaultKind::Map`].
+    pub fn fault_kind(&self) -> FaultKind {
+        match self {
+            RunError::BudgetExhausted => FaultKind::Budget,
+            RunError::HelperFault { helper: 1..=3, .. } => FaultKind::Map,
+            RunError::HelperFault { helper: 0, msg, .. } if msg.contains("map") => FaultKind::Map,
+            RunError::HelperFault { .. } => FaultKind::Helper,
+            RunError::PcOutOfBounds { .. }
+            | RunError::UninitRegister { .. }
+            | RunError::BadAccess { .. }
+            | RunError::NoExit => FaultKind::Trap,
+        }
+    }
 }
 
 impl fmt::Display for RunError {

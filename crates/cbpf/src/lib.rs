@@ -55,6 +55,7 @@ pub mod asm;
 pub mod ctx;
 pub mod dsl;
 pub mod error;
+pub mod fault;
 pub mod helpers;
 pub mod insn;
 pub mod interp;
@@ -66,7 +67,8 @@ pub mod verifier;
 
 pub use ctx::{CtxLayout, FieldAccess, FieldDef};
 pub use dsl::compile as compile_dsl;
-pub use error::{AsmError, RunError, VerifyError};
+pub use error::{AsmError, FaultKind, RunError, VerifyError};
+pub use fault::{FaultInjector, FaultPlan};
 pub use helpers::{FixedEnv, HelperId, PolicyEnv};
 pub use insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg};
 pub use interp::run_program;

@@ -37,6 +37,7 @@ use std::sync::Arc;
 
 use crate::ctx::{CtxLayout, FieldAccess};
 use crate::error::RunError;
+use crate::fault::FaultInjector;
 use crate::helpers::{HelperId, PolicyEnv};
 use crate::insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg, STACK_SIZE};
 use crate::interp::{fold32, fold64, RunReport, DEFAULT_BUDGET};
@@ -564,6 +565,43 @@ impl PreparedProgram {
         env: &dyn PolicyEnv,
         budget: u64,
     ) -> Result<RunReport, RunError> {
+        self.run_inner(ctx, env, budget, None)
+    }
+
+    /// Like [`PreparedProgram::run`], but consults a deterministic
+    /// [`FaultInjector`] before the first instruction (invocation-trigger
+    /// faults) and at every helper call site (per-helper rate faults).
+    ///
+    /// With `injector` `None` this is exactly `run`; the plain entry
+    /// point never pays for injection, so differential tests against the
+    /// legacy interpreter keep their meaning.
+    ///
+    /// # Errors
+    ///
+    /// The [`PreparedProgram::run`] fault set, plus whatever the injector
+    /// schedules.
+    pub fn run_with_faults(
+        &self,
+        ctx: &mut [u8],
+        env: &dyn PolicyEnv,
+        budget: u64,
+        injector: Option<&FaultInjector>,
+    ) -> Result<RunReport, RunError> {
+        self.run_inner(ctx, env, budget, injector)
+    }
+
+    fn run_inner(
+        &self,
+        ctx: &mut [u8],
+        env: &dyn PolicyEnv,
+        budget: u64,
+        injector: Option<&FaultInjector>,
+    ) -> Result<RunReport, RunError> {
+        if let Some(inj) = injector {
+            if let Some(fault) = inj.invocation_fault() {
+                return Err(fault);
+            }
+        }
         let mut m = Runner {
             regs: [0u64; 11],
             stack: [0; STACK_SIZE],
@@ -647,16 +685,31 @@ impl PreparedProgram {
                     }
                 }
                 PInsn::CallEnv0 { f } => {
+                    if let Some(inj) = injector {
+                        if let Some(fault) = inj.helper_fault(pc, 0) {
+                            return Err(fault);
+                        }
+                    }
                     let ret = f(m.env);
                     m.regs[1..6].fill(0);
                     m.regs[0] = ret;
                 }
                 PInsn::CallEnv1 { f } => {
+                    if let Some(inj) = injector {
+                        if let Some(fault) = inj.helper_fault(pc, 0) {
+                            return Err(fault);
+                        }
+                    }
                     let ret = f(m.env, m.regs[1]);
                     m.regs[1..6].fill(0);
                     m.regs[0] = ret;
                 }
                 PInsn::CallTrace { helper } => {
+                    if let Some(inj) = injector {
+                        if let Some(fault) = inj.helper_fault(pc, helper) {
+                            return Err(fault);
+                        }
+                    }
                     let len = m.regs[2] as usize;
                     if len > STACK_SIZE {
                         return Err(RunError::HelperFault {
@@ -671,6 +724,11 @@ impl PreparedProgram {
                     m.regs[0] = len as u64;
                 }
                 PInsn::CallMap { op, helper } => {
+                    if let Some(inj) = injector {
+                        if let Some(fault) = inj.helper_fault(pc, helper) {
+                            return Err(fault);
+                        }
+                    }
                     let ret = m.call_map(pc, op, helper)?;
                     m.regs[1..6].fill(0);
                     m.regs[0] = ret;
@@ -951,6 +1009,42 @@ mod tests {
             .run(&mut [], &FixedEnv::new(), DEFAULT_BUDGET)
             .unwrap();
         assert_eq!(got.ret, 3);
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_and_isolated() {
+        use crate::error::FaultKind;
+        use crate::fault::{FaultInjector, FaultPlan};
+
+        let mut b = ProgramBuilder::new("ok");
+        b.call(HelperId::CpuId);
+        b.exit();
+        let prog = b.build().unwrap();
+        let prepared = prog.prepare(&CtxLayout::empty());
+        let env = FixedEnv::new().cpu(3);
+
+        // Invocation trigger: runs 1 and 2 succeed, run 3 faults, run 4
+        // succeeds again.
+        let inj = FaultInjector::new(FaultPlan::on_invocation(3, FaultKind::Budget));
+        for i in 1..=4u64 {
+            let got = prepared.run_with_faults(&mut [], &env, DEFAULT_BUDGET, Some(&inj));
+            if i == 3 {
+                assert_eq!(got.unwrap_err(), RunError::BudgetExhausted);
+            } else {
+                assert_eq!(got.unwrap().ret, 3);
+            }
+        }
+
+        // Helper-site injection faults at the call pc with the helper id.
+        let always = FaultInjector::new(FaultPlan {
+            helper_fault_per_mille: 1000,
+            ..FaultPlan::inert(9)
+        });
+        let got = prepared.run_with_faults(&mut [], &env, DEFAULT_BUDGET, Some(&always));
+        assert_eq!(got.unwrap_err().fault_kind(), FaultKind::Helper);
+
+        // `run` (no injector) is untouched by an armed plan elsewhere.
+        assert_eq!(prepared.run(&mut [], &env, DEFAULT_BUDGET).unwrap().ret, 3);
     }
 
     #[test]

@@ -88,13 +88,16 @@ impl Ctl {
         let result = match cmd {
             "quit" | "exit" => return false,
             "help" => {
-                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quit");
+                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quarantines quit");
                 Ok(())
             }
             "locks" => {
                 for name in self.concord.registry().names() {
-                    let h = self.concord.registry().get(&name).expect("listed");
-                    println!("  {name:<12} kind={} id={}", h.kind(), h.id());
+                    // A lock listed a moment ago may have been dropped by a
+                    // concurrent unregister; skip instead of crashing.
+                    if let Some(h) = self.concord.registry().get(&name) {
+                        println!("  {name:<12} kind={} id={}", h.kind(), h.id());
+                    }
                 }
                 Ok(())
             }
@@ -119,13 +122,40 @@ impl Ctl {
                 }
                 Ok(())
             }
-            "unprofile" => {
-                match self.profiler.take() {
-                    Some(mut p) => {
-                        p.detach(&self.concord);
+            "unprofile" => match self.profiler.take() {
+                Some(mut p) => match p.detach(&self.concord) {
+                    Ok(_) => {
                         println!("  profiler detached");
+                        Ok(())
                     }
-                    None => println!("  (no profiling session)"),
+                    Err(e) => {
+                        // Keep the session so a later retry can finish.
+                        self.profiler = Some(p);
+                        Err(e.to_string())
+                    }
+                },
+                None => {
+                    println!("  (no profiling session)");
+                    Ok(())
+                }
+            },
+            "quarantines" => {
+                let records = match parts.next() {
+                    Some(lock) => self.concord.registry().quarantines(lock),
+                    None => self.concord.registry().all_quarantines(),
+                };
+                if records.is_empty() {
+                    println!("  (no quarantined policies)");
+                }
+                for r in records {
+                    println!(
+                        "  {}/{} policy={} at={}ns: {}",
+                        r.lock,
+                        r.hook.name(),
+                        r.policy,
+                        r.at_ns,
+                        r.reason
+                    );
                 }
                 Ok(())
             }
@@ -257,7 +287,7 @@ impl Ctl {
                 }));
             }
             for h in hs {
-                h.join().expect("worker");
+                h.join().map_err(|_| "worker thread panicked".to_string())?;
             }
         } else if let Some(l) = self.mutexes.get(name) {
             let mut hs = Vec::new();
@@ -271,7 +301,7 @@ impl Ctl {
                 }));
             }
             for h in hs {
-                h.join().expect("worker");
+                h.join().map_err(|_| "worker thread panicked".to_string())?;
             }
         } else {
             return Err(format!("`{name}` is not a hammerable lock"));

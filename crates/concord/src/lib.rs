@@ -49,6 +49,7 @@
 //! ```
 
 pub mod compose;
+pub mod containment;
 pub mod env;
 pub mod hookctx;
 pub mod policies;
@@ -56,10 +57,15 @@ pub mod policy;
 pub mod profiler;
 pub mod registry;
 pub mod tenant;
+pub mod watchdog;
 mod workflow;
 
 pub use compose::{Combinator, ComposeError};
+pub use containment::{
+    Breaker, BreakerConfig, BreakerState, ContainedPolicy, QuarantineRecord, BREAKER_CHECK_NS,
+};
 pub use policy::{BytecodePolicy, SimBytecodePolicy, HOOK_CALL_NS, NS_PER_INSN, TRAMPOLINE_NS};
 pub use registry::{LockClass, LockHandle, LockRegistry};
 pub use tenant::{TenantError, TenantId, TenantManager};
+pub use watchdog::{EnforceOutcome, HazardReport, LockWatchdog, WatchdogConfig, WindowStats};
 pub use workflow::{AttachHandle, Concord, ConcordError, LoadedPolicy, PolicySource, PolicySpec};

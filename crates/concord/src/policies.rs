@@ -249,7 +249,7 @@ mod tests {
             .load(event_counter(HookKind::LockAcquired, Arc::clone(&map)))
             .unwrap();
         let p = BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()));
-        let f = p.as_event();
+        let f = p.as_event().unwrap();
         for i in 0..5 {
             f(&LockEventCtx {
                 lock_id: 1,

@@ -2,10 +2,13 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cbpf::fault::FaultInjector;
+use cbpf::helpers::PolicyEnv;
 use cbpf::store::VerifiedProgram;
 use ksim::Sim;
 use locks::hooks::{
@@ -15,6 +18,7 @@ use locks::hooks::{
 use parking_lot::Mutex;
 use simlocks::policy::{Decision, SimPolicy};
 
+use crate::containment::{fail_safe_default, Breaker, BREAKER_CHECK_NS};
 use crate::env::{RealEnv, SimHookEnv};
 use crate::hookctx;
 
@@ -37,6 +41,28 @@ pub const NS_PER_INSN: u64 = 2;
 /// policies are loop-free and cannot come close).
 const HOOK_BUDGET: u64 = 1 << 16;
 
+/// A policy was loaded for one hook but requested as another — surfaced
+/// as a typed error instead of a panic inside a lock's hook path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HookMismatch {
+    /// The hook the policy was loaded (and verified) for.
+    pub bound: HookKind,
+    /// The hook shape the caller asked to install it as.
+    pub requested: &'static str,
+}
+
+impl fmt::Display for HookMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "policy bound to {:?} cannot be installed as {}",
+            self.bound, self.requested
+        )
+    }
+}
+
+impl std::error::Error for HookMismatch {}
+
 /// A verified program bound to a hook, runnable on real-thread locks.
 pub struct BytecodePolicy {
     prog: VerifiedProgram,
@@ -44,22 +70,42 @@ pub struct BytecodePolicy {
     env: Arc<RealEnv>,
     invocations: AtomicU64,
     faults: AtomicU64,
+    faults_by_kind: [AtomicU64; 4],
+    breaker: Option<Arc<Breaker>>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl BytecodePolicy {
     /// Wraps a verified program for `hook`, executing against `env`.
     pub fn new(prog: VerifiedProgram, hook: HookKind, env: Arc<RealEnv>) -> Arc<Self> {
+        BytecodePolicy::contained(prog, hook, env, None, None)
+    }
+
+    /// Like [`BytecodePolicy::new`] but armed with a circuit `breaker`
+    /// and, optionally, a deterministic fault `injector` (test harnesses;
+    /// production attaches pass `None`).
+    pub fn contained(
+        prog: VerifiedProgram,
+        hook: HookKind,
+        env: Arc<RealEnv>,
+        breaker: Option<Arc<Breaker>>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Arc<Self> {
         Arc::new(BytecodePolicy {
             prog,
             hook,
             env,
             invocations: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            faults_by_kind: Default::default(),
+            breaker,
+            injector,
         })
     }
 
     /// `(invocations, runtime faults)` — faults stay zero for verified
-    /// programs; the counter exists for the soundness test harness.
+    /// programs unless an injector is armed; the counters exist for the
+    /// soundness test harness and the breaker plumbing.
     pub fn stats(&self) -> (u64, u64) {
         (
             self.invocations.load(Ordering::Relaxed),
@@ -67,97 +113,133 @@ impl BytecodePolicy {
         )
     }
 
+    /// Fault counts in [`cbpf::FaultKind::ALL`] order.
+    pub fn faults_by_kind(&self) -> [u64; 4] {
+        [
+            self.faults_by_kind[0].load(Ordering::Relaxed),
+            self.faults_by_kind[1].load(Ordering::Relaxed),
+            self.faults_by_kind[2].load(Ordering::Relaxed),
+            self.faults_by_kind[3].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// The breaker guarding this policy, when armed.
+    pub fn breaker(&self) -> Option<&Arc<Breaker>> {
+        self.breaker.as_ref()
+    }
+
     fn run(&self, ctx: &mut [u8]) -> u64 {
         self.invocations.fetch_add(1, Ordering::Relaxed);
-        match self.prog.prepared().run(ctx, &*self.env, HOOK_BUDGET) {
-            Ok(report) => report.ret,
-            Err(_) => {
-                // A fault means a verifier bug; fail safe: "no decision".
-                self.faults.fetch_add(1, Ordering::Relaxed);
-                0
+        if let Some(b) = &self.breaker {
+            if !b.allow(self.env.ktime_ns()) {
+                return fail_safe_default(self.hook);
             }
+        }
+        let outcome =
+            self.prog
+                .prepared()
+                .run_with_faults(ctx, &*self.env, HOOK_BUDGET, self.injector.as_deref());
+        match outcome {
+            Ok(report) => {
+                if let Some(b) = &self.breaker {
+                    b.record_ok();
+                }
+                report.ret
+            }
+            Err(e) => {
+                // A fault is a verifier bug or an injected one; either way
+                // the hook degrades to the unpatched lock's decision.
+                let kind = e.fault_kind();
+                self.faults.fetch_add(1, Ordering::Relaxed);
+                self.faults_by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
+                if let Some(b) = &self.breaker {
+                    b.record_fault(kind, self.env.ktime_ns());
+                }
+                fail_safe_default(self.hook)
+            }
+        }
+    }
+
+    fn expect_hook(&self, kind: HookKind, requested: &'static str) -> Result<(), HookMismatch> {
+        if self.hook == kind {
+            Ok(())
+        } else {
+            Err(HookMismatch {
+                bound: self.hook,
+                requested,
+            })
         }
     }
 
     /// Produces the `cmp_node` closure to install in a hook table.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if this policy was loaded for a different hook.
-    pub fn as_cmp_node(self: &Arc<Self>) -> CmpNodeFn {
-        assert_eq!(
-            self.hook,
-            HookKind::CmpNode,
-            "policy bound to {:?}",
-            self.hook
-        );
+    /// Returns [`HookMismatch`] if this policy was loaded for a
+    /// different hook.
+    pub fn as_cmp_node(self: &Arc<Self>) -> Result<CmpNodeFn, HookMismatch> {
+        self.expect_hook(HookKind::CmpNode, "cmp_node")?;
         let p = Arc::clone(self);
-        Arc::new(move |ctx: &CmpNodeCtx| {
+        Ok(Arc::new(move |ctx: &CmpNodeCtx| {
             let mut buf = hookctx::marshal_cmp_node(ctx);
             p.run(&mut buf) != 0
-        })
+        }))
     }
 
     /// Produces the `skip_shuffle` closure.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if this policy was loaded for a different hook.
-    pub fn as_skip_shuffle(self: &Arc<Self>) -> SkipShuffleFn {
-        assert_eq!(
-            self.hook,
-            HookKind::SkipShuffle,
-            "policy bound to {:?}",
-            self.hook
-        );
+    /// Returns [`HookMismatch`] if this policy was loaded for a
+    /// different hook.
+    pub fn as_skip_shuffle(self: &Arc<Self>) -> Result<SkipShuffleFn, HookMismatch> {
+        self.expect_hook(HookKind::SkipShuffle, "skip_shuffle")?;
         let p = Arc::clone(self);
-        Arc::new(move |ctx: &SkipShuffleCtx| {
+        Ok(Arc::new(move |ctx: &SkipShuffleCtx| {
             let mut buf = hookctx::marshal_skip_shuffle(ctx);
             p.run(&mut buf) != 0
-        })
+        }))
     }
 
     /// Produces the `schedule_waiter` closure.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if this policy was loaded for a different hook.
-    pub fn as_schedule_waiter(self: &Arc<Self>) -> ScheduleWaiterFn {
-        assert_eq!(
-            self.hook,
-            HookKind::ScheduleWaiter,
-            "policy bound to {:?}",
-            self.hook
-        );
+    /// Returns [`HookMismatch`] if this policy was loaded for a
+    /// different hook.
+    pub fn as_schedule_waiter(self: &Arc<Self>) -> Result<ScheduleWaiterFn, HookMismatch> {
+        self.expect_hook(HookKind::ScheduleWaiter, "schedule_waiter")?;
         let p = Arc::clone(self);
-        Arc::new(move |ctx: &ScheduleWaiterCtx| {
+        Ok(Arc::new(move |ctx: &ScheduleWaiterCtx| {
             let mut buf = hookctx::marshal_schedule_waiter(ctx);
             p.run(&mut buf) != 0
-        })
+        }))
     }
 
     /// Produces an event-hook closure.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if this policy was loaded for a decision hook.
-    pub fn as_event(self: &Arc<Self>) -> LockEventFn {
-        assert!(
-            matches!(
-                self.hook,
-                HookKind::LockAcquire
-                    | HookKind::LockContended
-                    | HookKind::LockAcquired
-                    | HookKind::LockRelease
-            ),
-            "policy bound to {:?}",
-            self.hook
-        );
+    /// Returns [`HookMismatch`] if this policy was loaded for a decision
+    /// hook.
+    pub fn as_event(self: &Arc<Self>) -> Result<LockEventFn, HookMismatch> {
+        if !matches!(
+            self.hook,
+            HookKind::LockAcquire
+                | HookKind::LockContended
+                | HookKind::LockAcquired
+                | HookKind::LockRelease
+        ) {
+            return Err(HookMismatch {
+                bound: self.hook,
+                requested: "an event hook",
+            });
+        }
         let p = Arc::clone(self);
-        Arc::new(move |ctx: &LockEventCtx| {
+        Ok(Arc::new(move |ctx: &LockEventCtx| {
             let mut buf = hookctx::marshal_event(ctx);
             p.run(&mut buf);
-        })
+        }))
     }
 }
 
@@ -177,6 +259,9 @@ pub struct SimBytecodePolicy {
     cores_per_socket: u32,
     invocations: Cell<u64>,
     faults: Cell<u64>,
+    faults_by_kind: Cell<[u64; 4]>,
+    breaker: Option<Arc<Breaker>>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl SimBytecodePolicy {
@@ -193,6 +278,9 @@ impl SimBytecodePolicy {
             cores_per_socket: sim.topology().cores_per_socket(),
             invocations: Cell::new(0),
             faults: Cell::new(0),
+            faults_by_kind: Cell::new([0; 4]),
+            breaker: None,
+            injector: None,
         }
     }
 
@@ -207,6 +295,31 @@ impl SimBytecodePolicy {
             }
         }
         self
+    }
+
+    /// Arms the policy set with a circuit `breaker` and an optional
+    /// deterministic fault `injector`. Every hook invocation then charges
+    /// [`BREAKER_CHECK_NS`] of virtual time on top of the interpreter cost,
+    /// faults degrade to the fail-safe defaults, and an open breaker
+    /// bypasses the programs entirely.
+    pub fn with_containment(
+        mut self,
+        breaker: Arc<Breaker>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        self.breaker = Some(breaker);
+        self.injector = injector;
+        self
+    }
+
+    /// The breaker guarding this policy set, when armed.
+    pub fn breaker(&self) -> Option<&Arc<Breaker>> {
+        self.breaker.as_ref()
+    }
+
+    /// Fault counts in [`cbpf::FaultKind::ALL`] order.
+    pub fn faults_by_kind(&self) -> [u64; 4] {
+        self.faults_by_kind.get()
     }
 
     /// Registers a task priority for the `task_priority` helper.
@@ -233,23 +346,58 @@ impl SimBytecodePolicy {
         x
     }
 
-    fn run(&self, prog: &VerifiedProgram, ctx: &mut [u8], cpu: u32, pid: u64) -> (u64, u64) {
+    fn run(
+        &self,
+        hook: HookKind,
+        prog: &VerifiedProgram,
+        ctx: &mut [u8],
+        cpu: u32,
+        pid: u64,
+    ) -> (u64, u64) {
         self.invocations.set(self.invocations.get() + 1);
+        let now = self.sim.now();
+        let check = if self.breaker.is_some() {
+            BREAKER_CHECK_NS
+        } else {
+            0
+        };
+        if let Some(b) = &self.breaker {
+            if !b.allow(now) {
+                // Open breaker: the program is bypassed, the hook serves
+                // the unpatched lock's decision at the bare check cost.
+                return (fail_safe_default(hook), check);
+            }
+        }
         let env = SimHookEnv {
             cpu,
             socket: cpu / self.cores_per_socket,
-            now_ns: self.sim.now(),
+            now_ns: now,
             pid,
             cores_per_socket: self.cores_per_socket,
             random: self.next_random(),
             priorities: Arc::clone(&self.priorities),
             sim: Some(self.sim.clone()),
         };
-        match prog.prepared().run(ctx, &env, HOOK_BUDGET) {
-            Ok(report) => (report.ret, HOOK_CALL_NS + report.insns * NS_PER_INSN),
-            Err(_) => {
+        let outcome = prog
+            .prepared()
+            .run_with_faults(ctx, &env, HOOK_BUDGET, self.injector.as_deref());
+        match outcome {
+            Ok(report) => {
+                if let Some(b) = &self.breaker {
+                    b.record_ok();
+                }
+                (report.ret, check + HOOK_CALL_NS + report.insns * NS_PER_INSN)
+            }
+            Err(e) => {
+                let kind = e.fault_kind();
                 self.faults.set(self.faults.get() + 1);
-                (0, HOOK_CALL_NS)
+                let mut by = self.faults_by_kind.get();
+                by[kind.index()] += 1;
+                self.faults_by_kind.set(by);
+                if let Some(b) = &self.breaker {
+                    b.record_fault(kind, now);
+                }
+                (fail_safe_default(hook), check + HOOK_CALL_NS)
             }
         }
     }
@@ -260,7 +408,13 @@ impl SimPolicy for SimBytecodePolicy {
         match &self.cmp {
             Some(prog) => {
                 let mut buf = hookctx::marshal_cmp_node(ctx);
-                let (ret, cost) = self.run(prog, &mut buf, ctx.shuffler.cpu, ctx.shuffler.tid);
+                let (ret, cost) = self.run(
+                    HookKind::CmpNode,
+                    prog,
+                    &mut buf,
+                    ctx.shuffler.cpu,
+                    ctx.shuffler.tid,
+                );
                 (ret != 0, cost)
             }
             None => (false, 0),
@@ -271,7 +425,13 @@ impl SimPolicy for SimBytecodePolicy {
         match &self.skip {
             Some(prog) => {
                 let mut buf = hookctx::marshal_skip_shuffle(ctx);
-                let (ret, cost) = self.run(prog, &mut buf, ctx.shuffler.cpu, ctx.shuffler.tid);
+                let (ret, cost) = self.run(
+                    HookKind::SkipShuffle,
+                    prog,
+                    &mut buf,
+                    ctx.shuffler.cpu,
+                    ctx.shuffler.tid,
+                );
                 (ret != 0, cost)
             }
             // No explicit skip program: shuffle exactly when a cmp_node
@@ -285,7 +445,13 @@ impl SimPolicy for SimBytecodePolicy {
         match &self.sched {
             Some(prog) => {
                 let mut buf = hookctx::marshal_schedule_waiter(ctx);
-                let (ret, cost) = self.run(prog, &mut buf, ctx.curr.cpu, ctx.curr.tid);
+                let (ret, cost) = self.run(
+                    HookKind::ScheduleWaiter,
+                    prog,
+                    &mut buf,
+                    ctx.curr.cpu,
+                    ctx.curr.tid,
+                );
                 (ret != 0, cost)
             }
             None => (true, 0),
@@ -296,7 +462,7 @@ impl SimPolicy for SimBytecodePolicy {
         match self.events.get(&kind) {
             Some(prog) => {
                 let mut buf = hookctx::marshal_event(ctx);
-                let (_, cost) = self.run(prog, &mut buf, ctx.cpu, ctx.tid);
+                let (_, cost) = self.run(kind, prog, &mut buf, ctx.cpu, ctx.tid);
                 cost
             }
             None => 0,
@@ -404,7 +570,7 @@ mod tests {
     #[test]
     fn real_policy_decides_from_ctx() {
         let policy = BytecodePolicy::new(numa_prog(), HookKind::CmpNode, Arc::new(RealEnv::new()));
-        let f = policy.as_cmp_node();
+        let f = policy.as_cmp_node().unwrap();
         let same = CmpNodeCtx {
             lock_id: 1,
             shuffler: view(12),
@@ -423,10 +589,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "policy bound to")]
-    fn wrong_hook_binding_panics() {
+    fn wrong_hook_binding_is_a_typed_error() {
         let policy = BytecodePolicy::new(numa_prog(), HookKind::CmpNode, Arc::new(RealEnv::new()));
-        let _ = policy.as_skip_shuffle();
+        let err = match policy.as_skip_shuffle() {
+            Err(e) => e,
+            Ok(_) => panic!("cmp_node policy must not install as skip_shuffle"),
+        };
+        assert_eq!(err.bound, HookKind::CmpNode);
+        assert_eq!(err.requested, "skip_shuffle");
+        assert!(err.to_string().contains("bound to"));
+        assert!(policy.as_event().is_err(), "decision hook is not an event");
+        assert!(policy.as_cmp_node().is_ok());
+    }
+
+    #[test]
+    fn injected_fault_degrades_to_fail_safe_and_trips_breaker() {
+        use crate::containment::{BreakerConfig, BreakerState};
+        use cbpf::fault::{FaultInjector, FaultPlan};
+        use cbpf::FaultKind;
+
+        let breaker = Arc::new(Breaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown_ns: None,
+        }));
+        // skip_shuffle program returning 0 (= shuffle); faults must flip
+        // the decision to the fail-safe 1 (= skip, plain FIFO).
+        let layout = hookctx::skip_shuffle_layout();
+        let mut b = ProgramBuilder::new("skip0");
+        b.mov_imm(Reg::R0, 0);
+        b.exit();
+        let prog = VerifiedProgram::new(
+            b.build().unwrap(),
+            layout,
+            &hookctx::rules_for(HookKind::SkipShuffle),
+        )
+        .unwrap();
+        let inj = Arc::new(FaultInjector::new(FaultPlan::from_invocation(
+            2,
+            FaultKind::Budget,
+        )));
+        let policy = BytecodePolicy::contained(
+            prog,
+            HookKind::SkipShuffle,
+            Arc::new(RealEnv::new()),
+            Some(Arc::clone(&breaker)),
+            Some(inj),
+        );
+        let f = policy.as_skip_shuffle().unwrap();
+        let ctx = SkipShuffleCtx {
+            lock_id: 1,
+            shuffler: view(0),
+        };
+        assert!(!f(&ctx), "healthy program says shuffle");
+        assert!(f(&ctx), "fault 1 degrades to fail-safe skip");
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert!(f(&ctx), "fault 2 trips the breaker");
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(f(&ctx), "open breaker bypasses the program");
+        let (inv, faults) = policy.stats();
+        assert_eq!(inv, 4);
+        assert_eq!(faults, 2, "bypassed invocation does not run the program");
+        assert_eq!(policy.faults_by_kind()[FaultKind::Budget.index()], 2);
     }
 
     #[test]

@@ -84,7 +84,8 @@ impl Profiler {
             match profiler.attach_one(concord, name) {
                 Ok(()) => {}
                 Err(e) => {
-                    profiler.detach(concord);
+                    // Best-effort rollback; the original error wins.
+                    let _ = profiler.detach(concord);
                     return Err(e);
                 }
             }
@@ -185,13 +186,28 @@ impl Profiler {
 
     /// Detaches every hook (in reverse attach order, honoring the patch
     /// stack) and returns the collected profiles.
-    pub fn detach(&mut self, concord: &Concord) -> Vec<(String, Arc<LockProfile>)> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the patch-stack error if a handle no longer reverts —
+    /// e.g. a patch above it was attached out of band. The failed handle
+    /// is kept so a later call can retry; no handle is silently dropped.
+    pub fn detach(
+        &mut self,
+        concord: &Concord,
+    ) -> Result<Vec<(String, Arc<LockProfile>)>, ConcordError> {
         while let Some(h) = self.handles.pop() {
-            concord
-                .detach(h)
-                .expect("profiler handles revert in LIFO order");
+            let saved = AttachHandle {
+                patch: h.patch,
+                lock: h.lock.clone(),
+                hook: h.hook,
+            };
+            if let Err(e) = concord.detach(h) {
+                self.handles.push(saved);
+                return Err(e);
+            }
         }
-        std::mem::take(&mut self.profiles)
+        Ok(std::mem::take(&mut self.profiles))
     }
 
     /// Renders a lockstat-style report.
@@ -247,7 +263,7 @@ mod tests {
         assert_eq!(p.hold_hist().count(), 100);
         let report = prof.report();
         assert!(report.contains("target"));
-        prof.detach(&c);
+        prof.detach(&c).unwrap();
         assert!(c.live_patches().is_empty());
         // After detach the lock is unobserved again.
         {
@@ -271,7 +287,7 @@ mod tests {
         }
         assert_eq!(prof.profile("watched").unwrap().counters().0, 10);
         assert!(prof.profile("unwatched").is_none());
-        prof.detach(&c);
+        prof.detach(&c).unwrap();
     }
 
     #[test]
@@ -287,10 +303,10 @@ mod tests {
         }
         let mut prof = Profiler::attach_class(&c, "alpha").unwrap();
         assert_eq!(prof.locks(), vec!["a1", "a2"]);
-        prof.detach(&c);
+        prof.detach(&c).unwrap();
         let mut prof = Profiler::attach_all(&c).unwrap();
         assert_eq!(prof.locks().len(), 3);
-        prof.detach(&c);
+        prof.detach(&c).unwrap();
     }
 
     #[test]
@@ -326,6 +342,6 @@ mod tests {
         assert_eq!(acq, 2_000);
         assert_eq!(rel, 2_000);
         assert_eq!(p.wait_hist().count(), 2_000);
-        prof.detach(&c);
+        prof.detach(&c).unwrap();
     }
 }

@@ -13,6 +13,8 @@ use locks::hooks::ShflHooks;
 use locks::{Bravo, NeutralRwLock, ShflLock, ShflMutex};
 use parking_lot::RwLock;
 
+use crate::containment::QuarantineRecord;
+
 /// Class tag for grouping lock instances.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LockClass(pub String);
@@ -66,6 +68,7 @@ struct Entry {
 #[derive(Default)]
 pub struct LockRegistry {
     entries: RwLock<BTreeMap<String, Entry>>,
+    quarantines: RwLock<Vec<QuarantineRecord>>,
 }
 
 impl LockRegistry {
@@ -135,6 +138,27 @@ impl LockRegistry {
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.entries.read().is_empty()
+    }
+
+    /// Records why a policy was quarantined (breaker trip or watchdog
+    /// hazard) — the administrator-facing audit trail.
+    pub fn record_quarantine(&self, record: QuarantineRecord) {
+        self.quarantines.write().push(record);
+    }
+
+    /// Quarantine records for `lock`, oldest first.
+    pub fn quarantines(&self, lock: &str) -> Vec<QuarantineRecord> {
+        self.quarantines
+            .read()
+            .iter()
+            .filter(|r| r.lock == lock)
+            .cloned()
+            .collect()
+    }
+
+    /// Every quarantine record, oldest first.
+    pub fn all_quarantines(&self) -> Vec<QuarantineRecord> {
+        self.quarantines.read().clone()
     }
 }
 

@@ -142,6 +142,7 @@ impl TenantManager {
     ) -> Result<TenantAttachment, TenantError> {
         {
             let mut st = self.state.lock();
+            let st = &mut *st;
             let count = st.counts.entry(tenant).or_insert(0);
             if *count >= self.quota {
                 return Err(TenantError::QuotaExceeded { quota: self.quota });
@@ -161,14 +162,16 @@ impl TenantManager {
                     }
                 }
             }
-            *st.counts.get_mut(&tenant).expect("just inserted") += 1;
+            *count += 1;
         }
         match concord.attach(lock, policy) {
             Ok(handle) => Ok(TenantAttachment { tenant, handle }),
             Err(e) => {
                 // Roll the reservation back.
                 let mut st = self.state.lock();
-                *st.counts.get_mut(&tenant).expect("reserved") -= 1;
+                if let Some(c) = st.counts.get_mut(&tenant) {
+                    *c = c.saturating_sub(1);
+                }
                 if is_decision(policy.hook) {
                     st.decision_owners.remove(&(lock.to_string(), policy.hook));
                 }

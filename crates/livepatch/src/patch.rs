@@ -180,6 +180,54 @@ impl PatchManager {
         }
     }
 
+    /// Reverts `handle` even when it is buried mid-stack, as a
+    /// transaction: every patch stacked above it is reverted (top-down),
+    /// the target is reverted, and the others are re-applied in their
+    /// original order. Returns the names of the re-applied patches.
+    ///
+    /// This is the quarantine primitive: a faulting policy can be pulled
+    /// without forcing unrelated patches (profilers, other tenants) off
+    /// the lock. Note that a patch re-applied above the target keeps the
+    /// restore values it captured at construction — if its restore chain
+    /// referenced the quarantined patch's state, a later revert of *that*
+    /// patch restores the pre-quarantine value (see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::UnknownPatch`] when `handle` is not live.
+    pub fn revert_transaction(&self, handle: PatchHandle) -> Result<Vec<String>, PatchError> {
+        let mut stack = self.stack.lock();
+        let pos = stack
+            .iter()
+            .position(|p| p.id == handle.0)
+            .ok_or(PatchError::UnknownPatch)?;
+        // Detach the target and everything above it while holding the
+        // lock, so no patch can interleave mid-transaction.
+        let mut tail: Vec<Applied> = stack.drain(pos..).collect();
+        let target = tail.remove(0);
+        // Unwind top-down: the patches above the target first, each
+        // reverting its sites in reverse apply order.
+        for patch in tail.iter().rev() {
+            for op in patch.ops.iter().rev() {
+                (op.revert)();
+            }
+        }
+        for op in target.ops.iter().rev() {
+            (op.revert)();
+        }
+        // Re-apply the survivors in their original order, keeping their
+        // ids so existing handles stay valid.
+        let mut names = Vec::with_capacity(tail.len());
+        for patch in tail {
+            for op in &patch.ops {
+                (op.apply)();
+            }
+            names.push(patch.name.clone());
+            stack.push(patch);
+        }
+        Ok(names)
+    }
+
     /// Reverts the top patch, if any; returns its name.
     pub fn revert_top(&self) -> Option<String> {
         let handle = {
@@ -252,6 +300,51 @@ mod tests {
         assert_eq!(*x.get(), 1);
         assert_eq!(mgr.revert_top().as_deref(), Some("p1"));
         assert_eq!(mgr.revert_top(), None);
+    }
+
+    #[test]
+    fn revert_transaction_pulls_mid_stack_patch() {
+        // Three patches on distinct points: the transaction must revert
+        // only the middle one while the others keep their values.
+        let a = Arc::new(PatchPoint::new(0u32));
+        let b = Arc::new(PatchPoint::new(0u32));
+        let c = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        let mut p1 = Patch::new("p1");
+        p1.swap(&a, 1, 0);
+        let mut p2 = Patch::new("p2");
+        p2.swap(&b, 2, 0);
+        let mut p3 = Patch::new("p3");
+        p3.swap(&c, 3, 0);
+        let _h1 = mgr.apply(p1);
+        let h2 = mgr.apply(p2);
+        let h3 = mgr.apply(p3);
+        let reapplied = mgr.revert_transaction(h2).unwrap();
+        assert_eq!(reapplied, vec!["p3"]);
+        assert_eq!(*a.get(), 1);
+        assert_eq!(*b.get(), 0, "target patch reverted");
+        assert_eq!(*c.get(), 3, "patch above re-applied");
+        assert_eq!(mgr.live(), vec!["p1", "p3"]);
+        // Handles above the target survive the transaction.
+        mgr.revert(h3).unwrap();
+        assert_eq!(*c.get(), 0);
+        assert_eq!(
+            mgr.revert_transaction(h2),
+            Err(PatchError::UnknownPatch),
+            "already gone"
+        );
+    }
+
+    #[test]
+    fn revert_transaction_on_top_is_plain_revert() {
+        let x = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        let mut p = Patch::new("only");
+        p.swap(&x, 5, 0);
+        let h = mgr.apply(p);
+        assert_eq!(mgr.revert_transaction(h).unwrap(), Vec::<String>::new());
+        assert_eq!(*x.get(), 0);
+        assert!(mgr.live().is_empty());
     }
 
     #[test]

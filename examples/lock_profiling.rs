@@ -60,6 +60,6 @@ fn main() {
         p.hold_hist().max()
     );
 
-    profiler.detach(&concord);
+    profiler.detach(&concord).expect("profiler detaches");
     println!("profiler detached; locks run unobserved again");
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full CI pass: release build, the whole test suite, clippy with warnings
+# denied, then the smoke run (one sweep point per figure, including the
+# containment-overhead ablation and the table1 watchdog column, both of
+# which assert their budgets).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== scripts/smoke.sh =="
+./scripts/smoke.sh
+
+echo "ci ok"

@@ -19,9 +19,11 @@ for bin in fig2a_page_fault2 fig2b_lock2 fig2c_hashtable lockzoo; do
     echo "== $bin (threads=$C3_BENCH_THREADS, window=${C3_BENCH_WINDOW_MS}ms) =="
     ./target/release/"$bin" >/dev/null
 done
-echo "== ablations (window=${C3_BENCH_WINDOW_MS}ms) =="
+# The ablations binary asserts the armed-containment overhead budget
+# (contained/no-op >= 0.95 on the Fig. 2(c) worst case) as it runs.
+echo "== ablations incl. containment overhead (window=${C3_BENCH_WINDOW_MS}ms) =="
 ./target/release/ablations >/dev/null
-echo "== table1_api_hazards =="
+echo "== table1_api_hazards incl. watchdog auto-revert =="
 ./target/release/table1_api_hazards >/dev/null
 
 echo "smoke ok: csvs in $C3_RESULTS_DIR"

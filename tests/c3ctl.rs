@@ -17,6 +17,7 @@ unprofile
 detach
 patches
 store
+quarantines
 quit
 "#;
     let dir = std::env::temp_dir().join(format!("c3ctl_test_{}", std::process::id()));
@@ -40,6 +41,7 @@ quit
     assert!(stdout.contains("dcache"));
     assert!(stdout.contains("reverted mmap_sem/cmp_node"));
     assert!(stdout.contains("prog policies/numa/cmp_node"));
+    assert!(stdout.contains("(no quarantined policies)"));
     assert!(!stdout.contains("error:"), "unexpected error:\n{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();

@@ -79,7 +79,7 @@ fn profiling_toggles_while_hot() {
     for _ in 0..10 {
         let mut prof = Profiler::attach(&concord, &["observed"]).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(5));
-        let profiles = prof.detach(&concord);
+        let profiles = prof.detach(&concord).unwrap();
         observed_total += profiles[0].1.counters().0;
     }
     stop.store(1, Ordering::Relaxed);

@@ -45,7 +45,9 @@ fn cmp_ctx_strategy() -> impl Strategy<Value = CmpNodeCtx> {
 fn bytecode_cmp(spec: concord::PolicySpec) -> CmpNodeFn {
     let c = Concord::new();
     let loaded = c.load(spec).expect("prebuilt policy verifies");
-    BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new())).as_cmp_node()
+    BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()))
+        .as_cmp_node()
+        .expect("loaded for cmp_node")
 }
 
 proptest! {
@@ -98,7 +100,8 @@ proptest! {
         let c = Concord::new();
         let loaded = c.load(concord::policies::adaptive_parking(spin)).unwrap();
         let f = BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()))
-            .as_schedule_waiter();
+            .as_schedule_waiter()
+            .expect("loaded for schedule_waiter");
         let native = concord::policies::adaptive_parking_native(spin);
         let ctx = ScheduleWaiterCtx { lock_id: 1, curr, waited_ns: waited };
         prop_assert_eq!(f(&ctx), native(&ctx));
@@ -111,7 +114,7 @@ fn no_faults_across_many_invocations() {
     let c = Concord::new();
     let loaded = c.load(concord::policies::numa_aware()).unwrap();
     let policy = BytecodePolicy::new(loaded.prog, loaded.hook, Arc::new(RealEnv::new()));
-    let f = policy.as_cmp_node();
+    let f = policy.as_cmp_node().expect("loaded for cmp_node");
     let mk = |cpu| NodeView {
         tid: 1,
         cpu,
