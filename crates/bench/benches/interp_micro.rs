@@ -15,6 +15,7 @@ use cbpf::helpers::{FixedEnv, HelperId};
 use cbpf::insn::{AluOp, JmpOp, MemSize, Reg};
 use cbpf::interp::{run_with_budget, DEFAULT_BUDGET};
 use cbpf::map::{Map, MapDef, MapKind};
+use cbpf::opt::OptConfig;
 use cbpf::program::{Program, ProgramBuilder};
 use concord::hookctx;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -95,6 +96,12 @@ fn bench_pair(
 
     g.bench_function(&format!("{name}/legacy"), |b| {
         b.iter(|| run_with_budget(prog, &mut ctx, layout, &env, DEFAULT_BUDGET).unwrap())
+    });
+    // Lowering alone vs lowering + the prepare-time optimizer, so the
+    // optimizer's contribution is separable from the dispatch win.
+    let unopt = prog.prepare_with(layout, OptConfig::none());
+    g.bench_function(&format!("{name}/prepared_noopt"), |b| {
+        b.iter(|| unopt.run(&mut ctx, &env, DEFAULT_BUDGET).unwrap())
     });
     let prepared = prog.prepare(layout);
     g.bench_function(&format!("{name}/prepared"), |b| {

@@ -1,0 +1,109 @@
+//! Fast data-plane regression gate, run by `scripts/ci.sh`.
+//!
+//! Re-runs the `map_mix` workload from `interp_micro` (map lookup + null
+//! check + read-modify-write + update — the helper-bound case the
+//! data-plane fast path exists for) on the legacy interpreter and the
+//! optimized prepared engine, and fails loudly if the prepared speedup
+//! drops below the floor. The full statistics live in the criterion
+//! benches; this is a coarse tripwire so the win can't silently regress.
+//!
+//! Skip with `C3_BENCH_GATE=0` (e.g. on loaded shared builders where
+//! wall-clock ratios are noise).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cbpf::ctx::CtxLayout;
+use cbpf::helpers::{FixedEnv, HelperId};
+use cbpf::insn::{AluOp, JmpOp, MemSize, Reg};
+use cbpf::interp::{run_with_budget, DEFAULT_BUDGET};
+use cbpf::map::{Map, MapDef, MapKind};
+use cbpf::program::{Program, ProgramBuilder};
+
+/// Minimum prepared-vs-legacy speedup on `map_mix`. The measured ratio
+/// is ~1.5-2x; 1.3x leaves headroom for builder noise while still
+/// catching a real regression (the pre-fast-path ratio was 1.04x).
+const FLOOR: f64 = 1.3;
+const ROUNDS: usize = 9;
+const ITERS: u32 = 40_000;
+
+fn map_mix_program() -> Program {
+    let map = Arc::new(Map::new(MapDef {
+        name: "counters".into(),
+        kind: MapKind::Hash,
+        key_size: 4,
+        value_size: 8,
+        max_entries: 8,
+    }));
+    map.update(&1u32.to_le_bytes(), &0u64.to_le_bytes(), 0)
+        .unwrap();
+    let mut b = ProgramBuilder::new("map_mix");
+    let mid = b.register_map(map);
+    b.ldmap(Reg::R1, mid);
+    b.store_imm(MemSize::W, Reg::R10, -4, 1);
+    b.mov(Reg::R2, Reg::R10);
+    b.alu_imm(AluOp::Add, Reg::R2, -4);
+    b.call(HelperId::MapLookup);
+    b.jmp_imm(JmpOp::Eq, Reg::R0, 0, "miss");
+    b.load(MemSize::Dw, Reg::R1, Reg::R0, 0);
+    b.alu_imm(AluOp::Add, Reg::R1, 1);
+    b.store(MemSize::Dw, Reg::R0, 0, Reg::R1);
+    b.mov_imm(Reg::R0, 1);
+    b.exit();
+    b.label("miss");
+    b.mov_imm(Reg::R0, 0);
+    b.exit();
+    b.build().unwrap()
+}
+
+/// Median of `ROUNDS` timings of `ITERS` back-to-back runs, in ns/run.
+fn measure(mut run: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            run();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[ROUNDS / 2]
+}
+
+fn main() {
+    if std::env::var("C3_BENCH_GATE").as_deref() == Ok("0") {
+        println!("bench_gate: skipped (C3_BENCH_GATE=0)");
+        return;
+    }
+
+    let prog = map_mix_program();
+    let layout = CtxLayout::empty();
+    let env = FixedEnv::new().cpu(12).numa(1);
+    let prepared = prog.prepare(&layout);
+
+    // Warm up both engines (page in code, populate the map slab).
+    for _ in 0..10_000 {
+        run_with_budget(&prog, &mut [], &layout, &env, DEFAULT_BUDGET).unwrap();
+        prepared.run(&mut [], &env, DEFAULT_BUDGET).unwrap();
+    }
+
+    let legacy = measure(|| {
+        let _ = run_with_budget(&prog, &mut [], &layout, &env, DEFAULT_BUDGET).unwrap();
+    });
+    let fast = measure(|| {
+        let _ = prepared.run(&mut [], &env, DEFAULT_BUDGET).unwrap();
+    });
+    let ratio = legacy / fast;
+
+    println!(
+        "bench_gate: map_mix legacy {legacy:.1} ns/run, prepared {fast:.1} ns/run, \
+         speedup {ratio:.2}x (floor {FLOOR}x)"
+    );
+    if ratio < FLOOR {
+        eprintln!(
+            "bench_gate: FAIL — prepared map_mix speedup {ratio:.2}x is below the {FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: OK");
+}

@@ -1,0 +1,165 @@
+//! Map contention microbench: ns per op for each map kind, single-threaded
+//! and with 8 threads hammering the same map (the shuffler-path pattern —
+//! every hook invocation on every CPU reads or bumps shared policy state).
+//!
+//! Feeds the contention rows of `BENCH_maps.json`. Wall-clock timing on a
+//! real-thread pool; not a simulator workload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cbpf::map::{Map, MapDef, MapKind};
+
+const ITERS: u64 = 200_000;
+const THREADS: usize = 8;
+
+fn map(kind: MapKind, key_size: usize, max_entries: usize) -> Arc<Map> {
+    Arc::new(Map::new(MapDef {
+        name: "bench".into(),
+        kind,
+        key_size,
+        value_size: 8,
+        max_entries,
+    }))
+}
+
+/// ns/op of `f` run `ITERS` times on one thread.
+fn single(mut f: impl FnMut(u64)) -> f64 {
+    // Warm up.
+    for i in 0..(ITERS / 10) {
+        f(i);
+    }
+    let t0 = Instant::now();
+    for i in 0..ITERS {
+        f(i);
+    }
+    t0.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// ns/op with `THREADS` threads running `f` concurrently against the same
+/// map; reported as mean wall-clock per op per thread (latency under
+/// contention, not aggregate throughput).
+fn contended(f: impl Fn(usize, u64) + Send + Sync + 'static) -> f64 {
+    let f = Arc::new(f);
+    let go = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let f = Arc::clone(&f);
+            let go = Arc::clone(&go);
+            std::thread::spawn(move || {
+                while !go.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                let t0 = Instant::now();
+                for i in 0..ITERS {
+                    f(t, i);
+                }
+                t0.elapsed().as_nanos() as f64 / ITERS as f64
+            })
+        })
+        .collect();
+    go.store(true, Ordering::Release);
+    let per_thread: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    per_thread.iter().sum::<f64>() / per_thread.len() as f64
+}
+
+fn main() {
+    let mut rows: Vec<(&str, f64)> = Vec::new();
+
+    // Array: read-mostly shared counters.
+    let m = map(MapKind::Array, 4, 256);
+    rows.push((
+        "array_lookup_1t",
+        single(|i| {
+            let k = ((i % 256) as u32).to_le_bytes();
+            std::hint::black_box(m.lookup_copy(&k, 0));
+        }),
+    ));
+    let m = map(MapKind::Array, 4, 256);
+    rows.push((
+        "array_update_1t",
+        single(|i| {
+            let k = ((i % 256) as u32).to_le_bytes();
+            m.update(&k, &i.to_le_bytes(), 0).unwrap();
+        }),
+    ));
+    let m = map(MapKind::Array, 4, 256);
+    rows.push((
+        "array_update_8t",
+        contended(move |t, i| {
+            let k = (((i as usize * THREADS + t) % 256) as u32).to_le_bytes();
+            m.update(&k, &i.to_le_bytes(), t as u32).unwrap();
+        }),
+    ));
+
+    // Hash: the NUMA-policy pattern — lookups of a hot key plus updates.
+    let m = map(MapKind::Hash, 8, 1024);
+    for i in 0..512u64 {
+        m.update(&i.to_le_bytes(), &i.to_le_bytes(), 0).unwrap();
+    }
+    {
+        let m = Arc::clone(&m);
+        rows.push((
+            "hash_lookup_1t",
+            single(move |i| {
+                let k = (i % 512).to_le_bytes();
+                std::hint::black_box(m.lookup_copy(&k, 0));
+            }),
+        ));
+    }
+    {
+        let m = Arc::clone(&m);
+        rows.push((
+            "hash_lookup_8t",
+            contended(move |t, i| {
+                let k = ((i.wrapping_mul(7).wrapping_add(t as u64)) % 512).to_le_bytes();
+                std::hint::black_box(m.lookup_copy(&k, t as u32));
+            }),
+        ));
+    }
+    {
+        let m = Arc::clone(&m);
+        rows.push((
+            "hash_update_1t",
+            single(move |i| {
+                let k = (i % 512).to_le_bytes();
+                m.update(&k, &i.to_le_bytes(), 0).unwrap();
+            }),
+        ));
+    }
+    rows.push((
+        "hash_update_8t",
+        contended(move |t, i| {
+            let k = ((i.wrapping_mul(7).wrapping_add(t as u64)) % 512).to_le_bytes();
+            m.update(&k, &i.to_le_bytes(), t as u32).unwrap();
+        }),
+    ));
+
+    // Per-CPU array: each thread hits its own copy — the contention-free
+    // design point.
+    let m = map(MapKind::PerCpuArray, 4, 8);
+    {
+        let m = Arc::clone(&m);
+        rows.push((
+            "percpu_update_1t",
+            single(move |i| {
+                let k = ((i % 8) as u32).to_le_bytes();
+                m.update(&k, &i.to_le_bytes(), 0).unwrap();
+            }),
+        ));
+    }
+    rows.push((
+        "percpu_update_8t",
+        contended(move |t, i| {
+            let k = ((i % 8) as u32).to_le_bytes();
+            m.update(&k, &i.to_le_bytes(), t as u32).unwrap();
+        }),
+    ));
+
+    println!("| op | ns/op |");
+    println!("|---|---|");
+    for (name, ns) in &rows {
+        println!("| {name} | {ns:.1} |");
+    }
+}

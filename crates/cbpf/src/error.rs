@@ -288,6 +288,45 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Failure of a host-side or helper map operation.
+///
+/// Maps are fixed-capacity slabs (see [`crate::map`]), so every failure
+/// mode is a static-shape violation or capacity exhaustion — there is no
+/// allocation to fail. Inside policies the interpreters flatten these to
+/// the eBPF `-1` helper return; host callers (concord, `c3ctl`, tests)
+/// get the typed reason.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapError {
+    /// Key length differs from the map definition's `key_size`.
+    KeySizeMismatch,
+    /// Value length differs from the map definition's `value_size`.
+    ValueSizeMismatch,
+    /// Array index at or beyond `max_entries`.
+    IndexOutOfRange,
+    /// Hash map already holds `max_entries` live entries (or the probed
+    /// shard is saturated — see the map module docs on sharding).
+    Full,
+    /// Delete of a key that is not present.
+    NoSuchKey,
+    /// Delete on an array kind (array entries always exist).
+    DeleteOnArray,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MapError::KeySizeMismatch => "key size mismatch",
+            MapError::ValueSizeMismatch => "value size mismatch",
+            MapError::IndexOutOfRange => "index out of range",
+            MapError::Full => "map full",
+            MapError::NoSuchKey => "no such key",
+            MapError::DeleteOnArray => "delete on array map",
+        })
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// Coarse classification of a runtime fault — the taxonomy Concord's
 /// containment layer keys its fault counters and breaker decisions on.
 ///

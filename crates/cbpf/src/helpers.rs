@@ -14,6 +14,42 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::map::Map;
+
+/// Borrow-based map helper semantics, shared by both interpreter engines.
+///
+/// Keys and values are passed as borrows of the policy stack — no `Vec`
+/// materialization on the hot path — and resolve to dense value slots (see
+/// [`crate::map`]). Failures flatten to the eBPF `-1` helper return; the
+/// typed [`crate::error::MapError`] stays host-side.
+pub mod mapops {
+    use super::Map;
+
+    /// `map_lookup_elem`: key → value slot, `None` on miss.
+    #[inline]
+    pub fn lookup(map: &Map, key: &[u8], cpu: u32) -> Option<u32> {
+        map.lookup_slot(key, cpu)
+    }
+
+    /// `map_update_elem`: returns the helper's `0 | -1` convention.
+    #[inline]
+    pub fn update(map: &Map, key: &[u8], value: &[u8], cpu: u32) -> u64 {
+        match map.update(key, value, cpu) {
+            Ok(()) => 0,
+            Err(_) => (-1i64) as u64,
+        }
+    }
+
+    /// `map_delete_elem`: returns the helper's `0 | -1` convention.
+    #[inline]
+    pub fn delete(map: &Map, key: &[u8]) -> u64 {
+        match map.delete(key) {
+            Ok(()) => 0,
+            Err(_) => (-1i64) as u64,
+        }
+    }
+}
+
 /// Stable helper identifiers (the `call` immediate).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(u32)]

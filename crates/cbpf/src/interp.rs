@@ -12,11 +12,13 @@
 //! overhead as an open problem, and the interpreter's per-instruction cost
 //! is what Concord charges to virtual time in the simulator.
 
+use std::sync::Arc;
+
 use crate::ctx::CtxLayout;
 use crate::error::RunError;
-use crate::helpers::{HelperId, PolicyEnv};
+use crate::helpers::{mapops, HelperId, PolicyEnv};
 use crate::insn::{AluOp, Insn, MemSize, Operand, Reg, STACK_SIZE};
-use crate::map::ValueCell;
+use crate::map::Map;
 use crate::program::Program;
 
 /// Default instruction budget per invocation.
@@ -57,7 +59,10 @@ struct Machine<'a> {
     layout: &'a CtxLayout,
     prog: &'a Program,
     env: &'a dyn PolicyEnv,
-    map_regions: Vec<ValueCell>,
+    // Map-value regions live policies hold pointers into: the owning map
+    // plus the resolved value slot (kept alive by the `Arc`; slot bytes
+    // stay stable until reuse even across a delete).
+    map_regions: Vec<(Arc<Map>, u32)>,
     insns_executed: u64,
 }
 
@@ -337,17 +342,15 @@ impl Machine<'_> {
             }
             TAG_MAPVAL => {
                 let idx = ptr_index(addr) as usize;
-                let cell = self
+                let (map, slot) = self
                     .map_regions
                     .get(idx)
                     .ok_or(RunError::BadAccess { pc, addr })?;
-                let v = cell.lock();
-                let end = off.checked_add(n).filter(|e| *e <= v.len());
-                let end = end.ok_or(RunError::BadAccess { pc, addr })?;
                 if !off.is_multiple_of(n) {
                     return Err(RunError::BadAccess { pc, addr });
                 }
-                Ok(read_le(&v[off..end]))
+                map.value_load(*slot, off, n)
+                    .ok_or(RunError::BadAccess { pc, addr })
             }
             _ => Err(RunError::BadAccess { pc, addr }),
         }
@@ -380,19 +383,18 @@ impl Machine<'_> {
             }
             TAG_MAPVAL => {
                 let idx = ptr_index(addr) as usize;
-                let cell = self
+                let (map, slot) = self
                     .map_regions
                     .get(idx)
-                    .ok_or(RunError::BadAccess { pc, addr })?
-                    .clone();
-                let mut v = cell.lock();
-                let end = off.checked_add(n).filter(|e| *e <= v.len());
-                let end = end.ok_or(RunError::BadAccess { pc, addr })?;
+                    .ok_or(RunError::BadAccess { pc, addr })?;
                 if !off.is_multiple_of(n) {
                     return Err(RunError::BadAccess { pc, addr });
                 }
-                v[off..end].copy_from_slice(&val.to_le_bytes()[..n]);
-                Ok(())
+                if map.value_store(*slot, off, n, val) {
+                    Ok(())
+                } else {
+                    Err(RunError::BadAccess { pc, addr })
+                }
             }
             _ => Err(RunError::BadAccess { pc, addr }),
         }
@@ -461,9 +463,9 @@ impl Machine<'_> {
                 let key = self.stack_bytes(pc, key_ptr, map.def().key_size)?;
                 let cpu = self.env.cpu_id();
                 match id {
-                    HelperId::MapLookup => match map.lookup(&key, cpu) {
-                        Some(cell) => {
-                            self.map_regions.push(cell);
+                    HelperId::MapLookup => match mapops::lookup(&map, &key, cpu) {
+                        Some(slot) => {
+                            self.map_regions.push((map, slot));
                             ptr(TAG_MAPVAL, (self.map_regions.len() - 1) as u64, 0)
                         }
                         None => 0,
@@ -473,15 +475,9 @@ impl Machine<'_> {
                         let val = self.stack_bytes(pc, val_ptr, map.def().value_size)?;
                         // r4 = flags, currently ignored but must be valid.
                         let _flags = self.read_reg(pc, Reg::R4)?;
-                        match map.update(&key, &val, cpu) {
-                            Ok(()) => 0,
-                            Err(_) => (-1i64) as u64,
-                        }
+                        mapops::update(&map, &key, &val, cpu)
                     }
-                    HelperId::MapDelete => match map.delete(&key) {
-                        Ok(()) => 0,
-                        Err(_) => (-1i64) as u64,
-                    },
+                    HelperId::MapDelete => mapops::delete(&map, &key),
                     _ => unreachable!(),
                 }
             }

@@ -60,6 +60,7 @@ pub mod helpers;
 pub mod insn;
 pub mod interp;
 pub mod map;
+pub mod opt;
 pub mod prepare;
 pub mod program;
 pub mod store;
@@ -70,9 +71,11 @@ pub use dsl::compile as compile_dsl;
 pub use error::{AsmError, FaultKind, RunError, VerifyError};
 pub use fault::{FaultInjector, FaultPlan};
 pub use helpers::{FixedEnv, HelperId, PolicyEnv};
+pub use error::MapError;
 pub use insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg};
 pub use interp::run_program;
-pub use map::{Map, MapDef, MapKind};
+pub use map::{Map, MapDef, MapKind, MAX_MAP_ENTRIES};
+pub use opt::OptConfig;
 pub use prepare::PreparedProgram;
 pub use program::{Program, ProgramBuilder};
 pub use store::ObjectStore;

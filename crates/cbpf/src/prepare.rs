@@ -38,38 +38,39 @@ use std::sync::Arc;
 use crate::ctx::{CtxLayout, FieldAccess};
 use crate::error::RunError;
 use crate::fault::FaultInjector;
-use crate::helpers::{HelperId, PolicyEnv};
+use crate::helpers::{mapops, HelperId, PolicyEnv};
 use crate::insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg, STACK_SIZE};
 use crate::interp::{fold32, fold64, RunReport, DEFAULT_BUDGET};
-use crate::map::{Map, ValueCell};
+use crate::map::Map;
+use crate::opt::OptConfig;
 use crate::program::Program;
 
-const TAG_STACK: u64 = 1;
+pub(crate) const TAG_STACK: u64 = 1;
 const TAG_CTX: u64 = 2;
 const TAG_MAPVAL: u64 = 3;
-const TAG_MAPREF: u64 = 4;
+pub(crate) const TAG_MAPREF: u64 = 4;
 
-fn ptr(tag: u64, index: u64, off: u32) -> u64 {
+pub(crate) fn ptr(tag: u64, index: u64, off: u32) -> u64 {
     (tag << 60) | (index << 32) | u64::from(off)
 }
 
-fn ptr_tag(v: u64) -> u64 {
+pub(crate) fn ptr_tag(v: u64) -> u64 {
     v >> 60
 }
 
-fn ptr_index(v: u64) -> u64 {
+pub(crate) fn ptr_index(v: u64) -> u64 {
     (v >> 32) & 0x0fff_ffff
 }
 
-fn ptr_off(v: u64) -> u32 {
+pub(crate) fn ptr_off(v: u64) -> u32 {
     v as u32
 }
 
 /// Why a lowered [`PInsn::Trap`] faults when reached. Each kind maps to
 /// the fault the legacy interpreter raises for the same instruction; the
 /// verifier only accepts these instructions in unreachable code.
-#[derive(Clone, Copy, Debug)]
-enum Trap {
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Trap {
     /// The instruction writes the frame pointer.
     WriteR10,
     /// A jump whose absolute target leaves `[0, len]`.
@@ -102,8 +103,8 @@ impl Trap {
 }
 
 /// A pre-decoded operand: register index or sign-extended immediate.
-#[derive(Clone, Copy, Debug)]
-enum PSrc {
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum PSrc {
     Reg(u8),
     Imm(u64),
 }
@@ -111,8 +112,18 @@ enum PSrc {
 /// One lowered instruction. Jump targets are absolute indices into the
 /// prepared code; a [`PInsn::Halt`] sentinel sits one past the last real
 /// instruction so falling off the end is an ordinary dispatch.
-#[derive(Clone, Copy)]
-enum PInsn {
+///
+/// The fused variants ([`PInsn::Alu2`], [`PInsn::Load2`],
+/// [`PInsn::CallMapLookupBr`]) are produced only by [`crate::opt`] — raw
+/// bytecode has no encoding for them, so a program can never name one
+/// directly. Each occupies its source pair's first slot (the second slot
+/// becomes a weight-0 [`PInsn::Nop`], preserving instruction numbering
+/// for jump targets and fault attribution).
+// PartialEq is for optimizer tests; the fn-pointer comparison in the
+// CallEnv variants is fine there (same codegen unit, exact same item).
+#[allow(unpredictable_function_pointer_comparisons)]
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) enum PInsn {
     Alu64 { op: AluOp, dst: u8, src: PSrc },
     Alu32 { op: AluOp, dst: u8, src: PSrc },
     // `mov` is by far the most common ALU op in compiled policies, so it
@@ -133,10 +144,48 @@ enum PInsn {
     Exit,
     Trap { kind: Trap },
     Halt,
+    /// Executes nothing. Weight 1 when it replaces a folded/eliminated
+    /// instruction (still counted, like the instruction it stands for);
+    /// weight 0 in the dead second slot of a fused pair.
+    Nop,
+    /// Two back-to-back ALU-class instructions under one dispatch and one
+    /// budget charge, executed strictly in sequence (`mov` canonicalizes
+    /// to `AluOp::Mov`; immediates carry pre-extended values).
+    Alu2 {
+        w1: bool,
+        op1: AluOp,
+        dst1: u8,
+        src1: PSrc,
+        w2: bool,
+        op2: AluOp,
+        dst2: u8,
+        src2: PSrc,
+    },
+    /// Two back-to-back loads. A fault in the second half is attributed
+    /// to `pc + 1`, exactly as the unfused pair reports it.
+    Load2 {
+        s1: MemSize,
+        d1: u8,
+        b1: u8,
+        o1: u64,
+        s2: MemSize,
+        d2: u8,
+        b2: u8,
+        o2: u64,
+    },
+    /// `call map_lookup` immediately followed by a conditional branch on
+    /// the result — the hot "lookup then null-check" policy idiom.
+    CallMapLookupBr {
+        helper: u32,
+        jop: JmpOp,
+        jdst: u8,
+        jsrc: PSrc,
+        target: u32,
+    },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum MapOp {
+pub(crate) enum MapOp {
     Lookup,
     Update,
     Delete,
@@ -212,7 +261,13 @@ impl CtxPerm {
 /// The verifier-trusted execution form produced by [`Program::prepare`].
 pub struct PreparedProgram {
     name: String,
-    code: Box<[PInsn]>,
+    pub(crate) code: Box<[PInsn]>,
+    /// Per-slot budget charge, parallel to `code`. Ordinary slots charge
+    /// 1; a fused slot charges its whole source pair up front and the
+    /// dead second slot charges 0, so the executed-instruction count (and
+    /// with it the DES virtual-time accounting) is bit-identical to the
+    /// unoptimized program on every path and at every budget.
+    pub(crate) weights: Box<[u32]>,
     maps: Box<[Arc<Map>]>,
     perm: CtxPerm,
 }
@@ -235,7 +290,18 @@ impl Program {
     /// does not re-check them per step. Lowering is total — statically
     /// invalid instructions become traps that fault if ever reached (the
     /// verifier only accepts them in unreachable code).
+    ///
+    /// Runs the prepare-time optimizer ([`crate::opt`]) with its default
+    /// configuration; use [`Program::prepare_with`] to tune or disable
+    /// individual passes.
     pub fn prepare(&self, layout: &CtxLayout) -> PreparedProgram {
+        self.prepare_with(layout, OptConfig::default())
+    }
+
+    /// Like [`Program::prepare`], with explicit control over the
+    /// optimizer passes ([`OptConfig::none`] disables them all, which is
+    /// what differential tests compare against).
+    pub fn prepare_with(&self, layout: &CtxLayout, opt: OptConfig) -> PreparedProgram {
         let insns = self.insns();
         let len = insns.len();
         let mut code = Vec::with_capacity(len + 1);
@@ -357,13 +423,68 @@ impl Program {
             };
             code.push(lowered.unwrap_or_else(|kind| PInsn::Trap { kind }));
         }
+        let mut weights = vec![1u32; code.len()];
+        crate::opt::optimize(&mut code, &mut weights, self.maps(), opt);
+        // The sentinel charges like a real slot so exhausting the budget
+        // exactly at the end still reports `BudgetExhausted`, not
+        // `PcOutOfBounds` (legacy checks the budget before the fetch).
         code.push(PInsn::Halt);
+        weights.push(1);
         PreparedProgram {
             name: self.name().to_string(),
             code: code.into_boxed_slice(),
+            weights: weights.into_boxed_slice(),
             maps: self.maps().to_vec().into_boxed_slice(),
             perm: CtxPerm::build(layout),
         }
+    }
+}
+
+/// Map-value regions a run has handed out pointers into, as
+/// `(map index, value slot)` pairs. Policies rarely hold more than a
+/// couple of live lookups, so the first [`INLINE_REGIONS`] live inline —
+/// the hot path never allocates; pathological programs spill to a `Vec`.
+const INLINE_REGIONS: usize = 16;
+
+struct Regions {
+    inline: [(u32, u32); INLINE_REGIONS],
+    len: usize,
+    spill: Vec<(u32, u32)>,
+}
+
+impl Regions {
+    #[inline]
+    fn new() -> Regions {
+        Regions {
+            inline: [(0, 0); INLINE_REGIONS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Registers a region, returning its index.
+    #[inline]
+    fn push(&mut self, map_idx: u32, slot: u32) -> u64 {
+        let idx = self.len;
+        if idx < INLINE_REGIONS {
+            self.inline[idx] = (map_idx, slot);
+        } else {
+            self.spill.push((map_idx, slot));
+        }
+        self.len = idx + 1;
+        idx as u64
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> Option<(u32, u32)> {
+        if idx >= self.len {
+            return None;
+        }
+        Some(if idx < INLINE_REGIONS {
+            self.inline[idx]
+        } else {
+            self.spill[idx - INLINE_REGIONS]
+        })
     }
 }
 
@@ -374,7 +495,7 @@ struct Runner<'a> {
     env: &'a dyn PolicyEnv,
     maps: &'a [Arc<Map>],
     perm: &'a CtxPerm,
-    map_regions: Vec<ValueCell>,
+    regions: Regions,
 }
 
 #[inline]
@@ -428,14 +549,12 @@ impl Runner<'_> {
                 }
             }
             TAG_MAPVAL => {
-                let cell = self
-                    .map_regions
+                let (mi, slot) = self
+                    .regions
                     .get(ptr_index(addr) as usize)
                     .ok_or(RunError::BadAccess { pc, addr })?;
-                let v = cell.lock();
-                v.get(off..off.wrapping_add(n).min(v.len() + 1))
-                    .filter(|s| s.len() == n)
-                    .map(read_le)
+                self.maps[mi as usize]
+                    .value_load(slot, off, n)
                     .ok_or(RunError::BadAccess { pc, addr })
             }
             _ => Err(RunError::BadAccess { pc, addr }),
@@ -464,19 +583,15 @@ impl Runner<'_> {
                 }
             }
             TAG_MAPVAL => {
-                let cell = self
-                    .map_regions
+                let (mi, slot) = self
+                    .regions
                     .get(ptr_index(addr) as usize)
-                    .ok_or(RunError::BadAccess { pc, addr })?
-                    .clone();
-                let mut v = cell.lock();
-                let len = v.len();
-                let dst = v
-                    .get_mut(off..off.wrapping_add(n).min(len + 1))
-                    .filter(|s| s.len() == n)
                     .ok_or(RunError::BadAccess { pc, addr })?;
-                dst.copy_from_slice(&val.to_le_bytes()[..n]);
-                Ok(())
+                if self.maps[mi as usize].value_store(slot, off, n, val) {
+                    Ok(())
+                } else {
+                    Err(RunError::BadAccess { pc, addr })
+                }
             }
             _ => Err(RunError::BadAccess { pc, addr }),
         }
@@ -495,42 +610,41 @@ impl Runner<'_> {
             .ok_or(RunError::BadAccess { pc, addr })
     }
 
+    /// Map helper dispatch, allocation-free: keys and values are stack
+    /// borrows handed straight to the map, and a lookup hit registers a
+    /// `(map, slot)` region in the inline table.
     fn call_map(&mut self, pc: usize, op: MapOp, helper: u32) -> Result<u64, RunError> {
         let fault = |msg: &'static str| RunError::HelperFault { pc, helper, msg };
         let mref = self.regs[1];
         if ptr_tag(mref) != TAG_MAPREF {
             return Err(fault("arg1 is not a map"));
         }
-        let map = Arc::clone(
-            self.maps
-                .get(ptr_index(mref) as usize)
-                .ok_or(fault("unknown map id"))?,
-        );
-        let key = self
-            .stack_bytes(pc, self.regs[2], map.def().key_size)?
-            .to_vec();
+        let mi = ptr_index(mref) as usize;
+        // Reborrow the slice (not through `&self`) so `map` stays usable
+        // across the later `&mut self` region registration.
+        let maps = self.maps;
+        let map = maps.get(mi).ok_or(fault("unknown map id"))?;
         let cpu = self.env.cpu_id();
         Ok(match op {
-            MapOp::Lookup => match map.lookup(&key, cpu) {
-                Some(cell) => {
-                    self.map_regions.push(cell);
-                    ptr(TAG_MAPVAL, (self.map_regions.len() - 1) as u64, 0)
-                }
-                None => 0,
-            },
-            MapOp::Update => {
-                let val = self
-                    .stack_bytes(pc, self.regs[3], map.def().value_size)?
-                    .to_vec();
-                match map.update(&key, &val, cpu) {
-                    Ok(()) => 0,
-                    Err(_) => (-1i64) as u64,
+            MapOp::Lookup => {
+                let slot = {
+                    let key = self.stack_bytes(pc, self.regs[2], map.def().key_size)?;
+                    mapops::lookup(map, key, cpu)
+                };
+                match slot {
+                    Some(slot) => ptr(TAG_MAPVAL, self.regions.push(mi as u32, slot), 0),
+                    None => 0,
                 }
             }
-            MapOp::Delete => match map.delete(&key) {
-                Ok(()) => 0,
-                Err(_) => (-1i64) as u64,
-            },
+            MapOp::Update => {
+                let key = self.stack_bytes(pc, self.regs[2], map.def().key_size)?;
+                let val = self.stack_bytes(pc, self.regs[3], map.def().value_size)?;
+                mapops::update(map, key, val, cpu)
+            }
+            MapOp::Delete => {
+                let key = self.stack_bytes(pc, self.regs[2], map.def().key_size)?;
+                mapops::delete(map, key)
+            }
         })
     }
 }
@@ -609,24 +723,36 @@ impl PreparedProgram {
             env,
             maps: &self.maps,
             perm: &self.perm,
-            map_regions: Vec::new(),
+            regions: Regions::new(),
         };
         if !m.ctx.is_empty() {
             m.regs[1] = ptr(TAG_CTX, 0, 0);
         }
         m.regs[10] = ptr(TAG_STACK, 0, STACK_SIZE as u32);
         let code = &self.code;
+        let weights = &self.weights;
+        debug_assert_eq!(code.len(), weights.len());
         let mut pc: usize = 0;
         let mut executed: u64 = 0;
         loop {
-            if executed >= budget {
-                return Err(RunError::BudgetExhausted);
-            }
-            executed += 1;
+            // Weighted budget charge: a fused slot pays for its whole
+            // source pair before executing (its first half has no
+            // observable effect, so failing early is indistinguishable
+            // from the legacy fail-between-halves), keeping budget
+            // semantics and instruction counts exact at every budget.
+            // The invariant `executed <= budget` makes the subtraction
+            // safe.
+            //
             // SAFETY: `prepare` validates every jump target into
             // `[0, len]` and appends the `Halt` sentinel at index `len`
-            // (which returns), so `pc` never leaves the slice.
+            // (which returns), so `pc` never leaves either slice
+            // (`weights` is built parallel to `code`).
             debug_assert!(pc < code.len());
+            let w = u64::from(*unsafe { weights.get_unchecked(pc) });
+            if w > budget - executed {
+                return Err(RunError::BudgetExhausted);
+            }
+            executed += w;
             match *unsafe { code.get_unchecked(pc) } {
                 PInsn::Alu64 { op, dst, src } => {
                     let rhs = m.src(src);
@@ -744,6 +870,78 @@ impl PreparedProgram {
                 }
                 PInsn::Halt => {
                     return Err(RunError::PcOutOfBounds { pc: pc as i64 });
+                }
+                PInsn::Nop => {}
+                PInsn::Alu2 {
+                    w1,
+                    op1,
+                    dst1,
+                    src1,
+                    w2,
+                    op2,
+                    dst2,
+                    src2,
+                } => {
+                    // Strictly sequential: the second half reads whatever
+                    // the first half wrote, exactly like the unfused pair.
+                    let rhs = m.src(src1);
+                    let v = if w1 {
+                        fold64(op1, m.reg(dst1), rhs)
+                    } else {
+                        u64::from(fold32(op1, m.reg(dst1) as u32, rhs as u32))
+                    };
+                    m.set_reg(dst1, v);
+                    let rhs = m.src(src2);
+                    let v = if w2 {
+                        fold64(op2, m.reg(dst2), rhs)
+                    } else {
+                        u64::from(fold32(op2, m.reg(dst2) as u32, rhs as u32))
+                    };
+                    m.set_reg(dst2, v);
+                    pc += 2;
+                    continue;
+                }
+                PInsn::Load2 {
+                    s1,
+                    d1,
+                    b1,
+                    o1,
+                    s2,
+                    d2,
+                    b2,
+                    o2,
+                } => {
+                    let addr = m.reg(b1).wrapping_add(o1);
+                    let v = m.load(pc, addr, s1)?;
+                    m.set_reg(d1, v);
+                    let addr = m.reg(b2).wrapping_add(o2);
+                    let v = m.load(pc + 1, addr, s2)?;
+                    m.set_reg(d2, v);
+                    pc += 2;
+                    continue;
+                }
+                PInsn::CallMapLookupBr {
+                    helper,
+                    jop,
+                    jdst,
+                    jsrc,
+                    target,
+                } => {
+                    if let Some(inj) = injector {
+                        if let Some(fault) = inj.helper_fault(pc, helper) {
+                            return Err(fault);
+                        }
+                    }
+                    let ret = m.call_map(pc, MapOp::Lookup, helper)?;
+                    m.regs[1..6].fill(0);
+                    m.regs[0] = ret;
+                    let rhs = m.src(jsrc);
+                    if jop.eval(m.reg(jdst), rhs) {
+                        pc = target as usize;
+                    } else {
+                        pc += 2;
+                    }
+                    continue;
                 }
             }
             pc += 1;

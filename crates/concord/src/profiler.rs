@@ -6,18 +6,51 @@
 //! and renders a lockstat-style report with hold-time and wait-time
 //! log2 histograms.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cbpf::map::{Map, MapDef, MapKind};
 use ksim::Histogram;
 use locks::hooks::HookKind;
 use parking_lot::Mutex;
 
 use crate::workflow::{AttachHandle, Concord, ConcordError};
 
+/// In-flight tids one profiler tracks at once. Timestamps for tids past
+/// this degrade gracefully: the acquire/release still counts, only the
+/// latency sample is dropped.
+const TS_MAP_ENTRIES: usize = 4096;
+
+/// tid → timestamp table on the policy data plane: a sharded `cbpf` hash
+/// map instead of a `Mutex<HashMap>`, so concurrent hook invocations
+/// from different threads don't serialize on one lock (the profiler is
+/// attached exactly where contention is suspected).
+fn ts_map(name: &str) -> Map {
+    Map::new(MapDef {
+        name: name.into(),
+        kind: MapKind::Hash,
+        key_size: 8,
+        value_size: 8,
+        max_entries: TS_MAP_ENTRIES,
+    })
+}
+
+/// Records `now` for `tid`, dropping the sample if the table is full.
+fn ts_insert(map: &Map, tid: u64, now: u64) {
+    let _ = map.update(&tid.to_le_bytes(), &now.to_le_bytes(), 0);
+}
+
+/// Takes the timestamp recorded for `tid`, if any (borrow-based lookup:
+/// no allocation on the hook hot path).
+fn ts_remove(map: &Map, tid: u64) -> Option<u64> {
+    let key = tid.to_le_bytes();
+    let slot = map.lookup_slot(&key, 0)?;
+    let ts = map.value_load(slot, 0, 8)?;
+    map.delete(&key).ok()?;
+    Some(ts)
+}
+
 /// Per-lock profile counters.
-#[derive(Default)]
 pub struct LockProfile {
     acquires: AtomicU64,
     contended: AtomicU64,
@@ -26,8 +59,23 @@ pub struct LockProfile {
     hold_hist: Mutex<Histogram>,
     wait_hist: Mutex<Histogram>,
     // tid → timestamps for in-flight operations.
-    attempt_ts: Mutex<HashMap<u64, u64>>,
-    acquired_ts: Mutex<HashMap<u64, u64>>,
+    attempt_ts: Map,
+    acquired_ts: Map,
+}
+
+impl Default for LockProfile {
+    fn default() -> Self {
+        LockProfile {
+            acquires: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            acquired: AtomicU64::new(0),
+            releases: AtomicU64::new(0),
+            hold_hist: Mutex::default(),
+            wait_hist: Mutex::default(),
+            attempt_ts: ts_map("attempt_ts"),
+            acquired_ts: ts_map("acquired_ts"),
+        }
+    }
 }
 
 impl LockProfile {
@@ -125,7 +173,7 @@ impl Profiler {
             HookKind::LockAcquire,
             Arc::new(move |ctx| {
                 p.acquires.fetch_add(1, Ordering::Relaxed);
-                p.attempt_ts.lock().insert(ctx.tid, ctx.now_ns);
+                ts_insert(&p.attempt_ts, ctx.tid, ctx.now_ns);
             }),
         )?;
         self.handles.push(h);
@@ -146,10 +194,10 @@ impl Profiler {
             HookKind::LockAcquired,
             Arc::new(move |ctx| {
                 p.acquired.fetch_add(1, Ordering::Relaxed);
-                if let Some(start) = p.attempt_ts.lock().remove(&ctx.tid) {
+                if let Some(start) = ts_remove(&p.attempt_ts, ctx.tid) {
                     p.wait_hist.lock().record(ctx.now_ns.saturating_sub(start));
                 }
-                p.acquired_ts.lock().insert(ctx.tid, ctx.now_ns);
+                ts_insert(&p.acquired_ts, ctx.tid, ctx.now_ns);
             }),
         )?;
         self.handles.push(h);
@@ -160,7 +208,7 @@ impl Profiler {
             HookKind::LockRelease,
             Arc::new(move |ctx| {
                 p.releases.fetch_add(1, Ordering::Relaxed);
-                if let Some(start) = p.acquired_ts.lock().remove(&ctx.tid) {
+                if let Some(start) = ts_remove(&p.acquired_ts, ctx.tid) {
                     p.hold_hist.lock().record(ctx.now_ns.saturating_sub(start));
                 }
             }),

@@ -15,6 +15,11 @@ cargo test -q
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+# Data-plane regression gate: asserts the prepared map_mix speedup stays
+# above its floor. Skip on noisy builders with C3_BENCH_GATE=0.
+echo "== bench_gate (C3_BENCH_GATE=${C3_BENCH_GATE:-1}) =="
+C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin bench_gate
+
 echo "== scripts/smoke.sh =="
 ./scripts/smoke.sh
 

@@ -2,6 +2,13 @@
 //! each one written the way an adversarial (or merely buggy) user would,
 //! in assembly, and each checked for the *right* rejection reason.
 
+use cbpf::asm::assemble;
+use cbpf::ctx::CtxLayout;
+use cbpf::error::DecodeError;
+use cbpf::insn::{decode, RawInsn};
+use cbpf::map::{Map, MapDef, MapKind, MAX_MAP_ENTRIES};
+use cbpf::store::VerifiedProgram;
+use cbpf::verifier::HookRules;
 use concord::{Concord, ConcordError, PolicySpec};
 use locks::hooks::HookKind;
 
@@ -156,6 +163,92 @@ fn clobbered_register_after_helper() {
 fn fall_off_end() {
     let msg = rejects(HookKind::CmpNode, "mov r0, 0");
     assert!(msg.contains("fall off"), "{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// The optimized execution form is an internal representation only. The
+// fused superinstructions produced by `Program::prepare()` (`Nop`,
+// `Alu2`, `Load2`, `CallMapLookupBr`) must be unreachable from every
+// external input channel: the assembler, the binary decoder, and the
+// map/program constructors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fused_mnemonics_do_not_assemble() {
+    // No assembly spelling names a fused form; a user cannot hand the
+    // loader pre-fused code and skip the optimizer's invariants.
+    for asm in [
+        "nop\n exit",
+        "alu2 r0, r1\n exit",
+        "load2 r0, [r10-8], r1, [r10-16]\n exit",
+        "call_map_lookup_br r1, ok\nok:\n exit",
+        "map_lookup_br r1, 0\n exit",
+    ] {
+        let err = assemble(asm).expect_err(asm).to_string();
+        assert!(err.contains("unknown mnemonic"), "{asm}: {err}");
+    }
+}
+
+#[test]
+fn raw_bytecode_cannot_name_fused_opcodes() {
+    // `decode` returns the public `Insn` enum, which has no fused
+    // variants — so fused forms are unrepresentable by construction.
+    // Sweep the whole opcode byte space to pin down that everything
+    // outside the public ISA is rejected, not silently mapped.
+    let mut accepted = 0u32;
+    for op in 0..=u8::MAX {
+        let raw = [RawInsn {
+            op,
+            ..Default::default()
+        }];
+        if decode(&raw).is_ok() {
+            accepted += 1;
+        }
+    }
+    assert!(
+        accepted < 128,
+        "opcode space unexpectedly permissive: {accepted}/256 bytes decode"
+    );
+    // Class 0x06 is unassigned in this ISA and 0xff's ALU sub-op does
+    // not exist; both must fail loudly.
+    for hostile in [0x06u8, 0xfe, 0xff] {
+        let raw = [RawInsn {
+            op: hostile,
+            ..Default::default()
+        }];
+        assert!(
+            matches!(decode(&raw), Err(DecodeError::BadOpcode { pc: 0, op }) if op == hostile),
+            "opcode {hostile:#04x} must be rejected"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "over the 65536 cap")]
+fn oversized_map_capacity_is_unconstructible() {
+    // Slab sizing happens once, at construction; capacities beyond the
+    // cap are refused outright rather than clamped.
+    let _ = Map::new(MapDef {
+        name: "huge".into(),
+        kind: MapKind::Hash,
+        key_size: 4,
+        value_size: 8,
+        max_entries: MAX_MAP_ENTRIES + 1,
+    });
+}
+
+#[test]
+fn tampered_programs_cannot_reach_the_fast_path() {
+    // `VerifiedProgram` is the only currency the object store and hook
+    // tables accept, its fields are private, and its sole constructor
+    // runs the verifier before lowering — so a program that fails
+    // verification can never be prepared through the public API, and a
+    // prepared form can never be swapped in after the fact.
+    let hostile = assemble("ldxdw r0, [r10-8]\n exit").unwrap();
+    assert!(
+        VerifiedProgram::new(hostile, &CtxLayout::empty(), &HookRules::permissive()).is_err(),
+        "unverifiable program must not yield a VerifiedProgram"
+    );
 }
 
 #[test]
