@@ -8,7 +8,10 @@
 //!    the cost of the §4.2 starvation guard;
 //! 4. armed fault containment (breaker check + inert fault injector on
 //!    every hook invocation) vs the Fig. 2(c) no-op worst case — the
-//!    price of the runtime safety net when nothing ever faults.
+//!    price of the runtime safety net when nothing ever faults;
+//! 5. the trace plane, disarmed vs armed, on the same worst case — armed
+//!    emission happens on the host and charges zero virtual time, so the
+//!    two columns must agree exactly (the budget is ≥0.95 normalized).
 //!
 //! Each ablation's configurations are independent simulations, fanned out
 //! across the sweep worker pool; rows print in configuration order.
@@ -199,10 +202,45 @@ fn sweep_containment(window: u64) {
     println!();
 }
 
+fn sweep_telemetry(window: u64) {
+    use c3_bench::workloads::{run_hashtable, HtSeries};
+
+    println!("### Ablation 5: trace-plane cost on the Fig. 2(c) worst case");
+    println!("| threads | disarmed ops/ms | armed ops/ms | armed/disarmed |");
+    println!("|---|---|---|---|");
+    let threads = [1u32, 4, 8, 16, 28];
+    // The armed flag is process-global, so the disarmed and armed batches
+    // must not overlap on the sweep worker pool: run one fully, flip,
+    // run the other.
+    telemetry::set_armed(false);
+    let off = run_points(&threads, |&n| {
+        run_hashtable(n, HtSeries::ConcordNoop, window, 42)
+    });
+    telemetry::set_armed(true);
+    let on = run_points(&threads, |&n| {
+        run_hashtable(n, HtSeries::ConcordNoop, window, 42)
+    });
+    telemetry::set_armed(false);
+    telemetry::drain();
+    let mut worst = f64::INFINITY;
+    for (i, &n) in threads.iter().enumerate() {
+        let norm = on[i] / off[i];
+        worst = worst.min(norm);
+        println!("| {n} | {:.0} | {:.0} | {norm:.3} |", off[i], on[i]);
+    }
+    println!("\nworst-case armed-tracing throughput: {worst:.3} (budget: ≥0.95, expected: 1.000)");
+    assert!(
+        worst >= 0.95,
+        "armed tracing exceeds the 5% virtual-time budget: {worst:.3}"
+    );
+    println!();
+}
+
 fn main() {
     let window = run_window_ms() * 1_000_000;
     sweep_cross_socket(window);
     sweep_patched_entry(window);
     sweep_max_batch(window);
     sweep_containment(window);
+    sweep_telemetry(window);
 }

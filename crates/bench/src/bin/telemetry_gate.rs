@@ -1,0 +1,82 @@
+//! Telemetry-overhead regression gate, run by `scripts/ci.sh`.
+//!
+//! The trace plane's contract has two halves:
+//!
+//! * **disarmed** it costs one relaxed atomic load per emit site, so the
+//!   Fig. 2(c) no-op worst case must stay within the 5% budget of the
+//!   committed figure;
+//! * **armed** it records on the *host* and charges zero simulated
+//!   nanoseconds, so arming cannot move a figure at all — the committed
+//!   CSVs are byte-identical whichever way the plane is switched.
+//!
+//! This gate re-runs the Fig. 2(c) worst case (Concord no-op policy, the
+//! paper's overhead scenario) disarmed and armed on the same seeds and
+//! fails if the virtual throughput diverges by more than the budget; the
+//! DES being deterministic, any divergence at all means an emit site
+//! started charging virtual time. Host-side cost of arming is printed
+//! for the record.
+//!
+//! Skip with `C3_BENCH_GATE=0` (the knob shared with `bench_gate`).
+
+use std::time::Instant;
+
+use c3_bench::workloads::{run_hashtable, HtSeries};
+
+/// The committed figures' window (`run_window_ms()` default × 1e6).
+const WINDOW_NS: u64 = 3_000_000;
+const THREADS: u32 = 8;
+/// The figure binaries' seed-averaging set.
+const SEEDS: [u64; 3] = [42, 43, 44];
+/// Minimum disarmed/armed normalized throughput. Virtual time should be
+/// bit-identical; the floor is the ISSUE budget and exists so the gate
+/// message documents it.
+const FLOOR: f64 = 0.95;
+
+/// Seed-averaged virtual throughput (ops/ms) plus host wall-clock (ns).
+fn run_noop_worst_case() -> (f64, f64) {
+    let start = Instant::now();
+    let mut total = 0.0;
+    for sd in SEEDS {
+        total += run_hashtable(THREADS, HtSeries::ConcordNoop, WINDOW_NS, sd);
+    }
+    (
+        total / SEEDS.len() as f64,
+        start.elapsed().as_nanos() as f64,
+    )
+}
+
+fn main() {
+    if std::env::var("C3_BENCH_GATE").as_deref() == Ok("0") {
+        println!("telemetry_gate: skipped (C3_BENCH_GATE=0)");
+        return;
+    }
+
+    telemetry::set_armed(false);
+    let (tp_off, host_off) = run_noop_worst_case();
+    telemetry::set_armed(true);
+    let (tp_on, host_on) = run_noop_worst_case();
+    telemetry::set_armed(false);
+    let captured = telemetry::drain().len();
+    let dropped = telemetry::dropped();
+
+    let norm = tp_off / tp_on.max(f64::MIN_POSITIVE);
+    println!(
+        "telemetry_gate: fig2c no-op worst case ({THREADS} threads) — disarmed {tp_off:.4} \
+         ops/ms, armed {tp_on:.4} ops/ms, normalized {norm:.4} (floor {FLOOR}); \
+         armed host cost {:.2}x, {captured} events captured, {dropped} dropped",
+        host_on / host_off.max(f64::MIN_POSITIVE)
+    );
+    if tp_off != tp_on {
+        eprintln!(
+            "telemetry_gate: FAIL — arming the trace plane moved virtual throughput \
+             ({tp_off:.4} vs {tp_on:.4}); an emit site is charging simulated time and \
+             the committed figure CSVs are no longer byte-identical when disarmed"
+        );
+        std::process::exit(1);
+    }
+    if norm < FLOOR {
+        eprintln!("telemetry_gate: FAIL — normalized throughput {norm:.4} below floor {FLOOR}");
+        std::process::exit(1);
+    }
+    println!("telemetry_gate: OK");
+}

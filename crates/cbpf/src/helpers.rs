@@ -80,7 +80,27 @@ pub enum HelperId {
     /// (the §3.1.1 double-scheduling channel: the hypervisor exposes vCPU
     /// scheduling information to the shuffler).
     CpuOnline = 12,
+    /// `trace_emit(buf_ptr, len) -> 0` — publish up to
+    /// [`TRACE_EMIT_MAX_PAYLOAD`] bytes as a structured telemetry event.
+    /// Unlike `trace_printk` this is cheap and decision-hook-safe: the
+    /// payload is bounds-checked by the verifier, the cost is the fixed
+    /// [`TRACE_EMIT_WEIGHT`] charged against the budget whether or not
+    /// the trace plane is armed, and the bytes land in the per-CPU ring
+    /// as an ordered `policy_emit` record rather than a printk string.
+    TraceEmit = 13,
 }
+
+/// Largest payload `trace_emit` accepts, enforced statically by the
+/// verifier and again at run time by both engines. Matches the trace
+/// record's inline payload capacity (`telemetry::MAX_PAYLOAD`).
+pub const TRACE_EMIT_MAX_PAYLOAD: usize = 16;
+
+/// Fixed instruction-budget weight of one `trace_emit` call, charged
+/// identically by the legacy interpreter and the prepared engine, and
+/// identically whether the telemetry plane is armed or disarmed — so
+/// `RunReport::insns` (and every figure CSV derived from it) is
+/// byte-identical with tracing off.
+pub const TRACE_EMIT_WEIGHT: u32 = 4;
 
 impl HelperId {
     /// Looks an id up from the `call` immediate.
@@ -231,6 +251,12 @@ pub static HELPERS: &[HelperSig] = &[
         args: &[ArgSpec::Scalar],
         ret: RetSpec::Scalar,
     },
+    HelperSig {
+        id: HelperId::TraceEmit,
+        name: "trace_emit",
+        args: &[ArgSpec::StackBufWithLen, ArgSpec::Scalar],
+        ret: RetSpec::Scalar,
+    },
 ];
 
 /// Execution environment a policy runs against.
@@ -266,6 +292,10 @@ pub trait PolicyEnv {
     }
     /// Receives `trace_printk` bytes.
     fn trace(&self, _bytes: &[u8]) {}
+    /// Receives `trace_emit` payloads. Real and simulated environments
+    /// forward these into the telemetry plane as `policy_emit` records;
+    /// the default discards them.
+    fn trace_emit(&self, _payload: &[u8]) {}
 }
 
 /// A [`PolicyEnv`] with fixed values, for tests and documentation.
@@ -289,6 +319,7 @@ pub struct FixedEnv {
     priorities: Vec<(u64, i64)>,
     cores_per_node: u32,
     traces: Arc<Mutex<Vec<Vec<u8>>>>,
+    emits: Arc<Mutex<Vec<Vec<u8>>>>,
 }
 
 impl FixedEnv {
@@ -347,6 +378,11 @@ impl FixedEnv {
     pub fn traces(&self) -> Vec<Vec<u8>> {
         self.traces.lock().clone()
     }
+
+    /// Payloads captured from `trace_emit` calls.
+    pub fn emits(&self) -> Vec<Vec<u8>> {
+        self.emits.lock().clone()
+    }
 }
 
 impl PolicyEnv for FixedEnv {
@@ -384,6 +420,10 @@ impl PolicyEnv for FixedEnv {
 
     fn trace(&self, bytes: &[u8]) {
         self.traces.lock().push(bytes.to_vec());
+    }
+
+    fn trace_emit(&self, payload: &[u8]) {
+        self.emits.lock().push(payload.to_vec());
     }
 }
 

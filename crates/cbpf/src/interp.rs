@@ -64,6 +64,7 @@ struct Machine<'a> {
     // stay stable until reuse even across a delete).
     map_regions: Vec<(Arc<Map>, u32)>,
     insns_executed: u64,
+    budget: u64,
 }
 
 /// Outcome counters of one program run (for profiling benches).
@@ -114,6 +115,7 @@ pub fn run_with_budget(
         env,
         map_regions: Vec::new(),
         insns_executed: 0,
+        budget,
     };
     // r1 = ctx pointer (when a context exists), r10 = frame pointer one past
     // the end of the downward-growing stack.
@@ -448,6 +450,31 @@ impl Machine<'_> {
                 let bytes = self.stack_bytes(pc, buf, len)?;
                 self.env.trace(&bytes);
                 len as u64
+            }
+            HelperId::TraceEmit => {
+                // The fixed TRACE_EMIT_WEIGHT is charged whether or not the
+                // telemetry plane is armed, and before any side effect, so
+                // `RunReport::insns` matches the prepared engine's weight
+                // table exactly: the loop top already charged 1, the rest
+                // is charged here behind the same exhaustion predicate
+                // (`weight > budget - executed_before`).
+                let extra = u64::from(crate::helpers::TRACE_EMIT_WEIGHT) - 1;
+                if extra > self.budget - self.insns_executed {
+                    return Err(RunError::BudgetExhausted);
+                }
+                self.insns_executed += extra;
+                let buf = self.read_reg(pc, Reg::R1)?;
+                let len = self.read_reg(pc, Reg::R2)? as usize;
+                if !(1..=crate::helpers::TRACE_EMIT_MAX_PAYLOAD).contains(&len) {
+                    return Err(Self::helper_fault(
+                        pc,
+                        helper,
+                        "trace_emit payload length out of bounds",
+                    ));
+                }
+                let bytes = self.stack_bytes(pc, buf, len)?;
+                self.env.trace_emit(&bytes);
+                0
             }
             HelperId::MapLookup | HelperId::MapUpdate | HelperId::MapDelete => {
                 let mref = self.read_reg(pc, Reg::R1)?;

@@ -404,7 +404,9 @@ impl Program {
                     }),
                     Some(HelperId::CpuToNode) => Ok(PInsn::CallEnv1 { f: env_cpu_to_node }),
                     Some(HelperId::CpuOnline) => Ok(PInsn::CallEnv1 { f: env_cpu_online }),
-                    Some(HelperId::TracePrintk) => Ok(PInsn::CallTrace { helper }),
+                    Some(HelperId::TracePrintk) | Some(HelperId::TraceEmit) => {
+                        Ok(PInsn::CallTrace { helper })
+                    }
                     Some(HelperId::MapLookup) => Ok(PInsn::CallMap {
                         op: MapOp::Lookup,
                         helper,
@@ -423,7 +425,22 @@ impl Program {
             };
             code.push(lowered.unwrap_or_else(|kind| PInsn::Trap { kind }));
         }
-        let mut weights = vec![1u32; code.len()];
+        // Every source instruction costs 1, except `trace_emit`, which
+        // carries its fixed weight so the budget charge is identical to
+        // the legacy interpreter's (1 at the loop top + the remainder in
+        // the helper) and identical whether tracing is armed or not.
+        let mut weights: Vec<u32> = insns
+            .iter()
+            .map(|i| match i {
+                Insn::Call { helper }
+                    if HelperId::from_u32(*helper) == Some(HelperId::TraceEmit) =>
+                {
+                    crate::helpers::TRACE_EMIT_WEIGHT
+                }
+                _ => 1,
+            })
+            .collect();
+        debug_assert_eq!(weights.len(), code.len());
         crate::opt::optimize(&mut code, &mut weights, self.maps(), opt);
         // The sentinel charges like a real slot so exhausting the budget
         // exactly at the end still reports `BudgetExhausted`, not
@@ -837,17 +854,33 @@ impl PreparedProgram {
                         }
                     }
                     let len = m.regs[2] as usize;
-                    if len > STACK_SIZE {
-                        return Err(RunError::HelperFault {
-                            pc,
-                            helper,
-                            msg: "trace length too large",
-                        });
+                    if helper == HelperId::TraceEmit as u32 {
+                        // Weight already charged at the loop top; only the
+                        // bounds check and the emit itself live here.
+                        if !(1..=crate::helpers::TRACE_EMIT_MAX_PAYLOAD).contains(&len) {
+                            return Err(RunError::HelperFault {
+                                pc,
+                                helper,
+                                msg: "trace_emit payload length out of bounds",
+                            });
+                        }
+                        let bytes = m.stack_bytes(pc, m.regs[1], len)?;
+                        m.env.trace_emit(bytes);
+                        m.regs[1..6].fill(0);
+                        m.regs[0] = 0;
+                    } else {
+                        if len > STACK_SIZE {
+                            return Err(RunError::HelperFault {
+                                pc,
+                                helper,
+                                msg: "trace length too large",
+                            });
+                        }
+                        let bytes = m.stack_bytes(pc, m.regs[1], len)?;
+                        m.env.trace(bytes);
+                        m.regs[1..6].fill(0);
+                        m.regs[0] = len as u64;
                     }
-                    let bytes = m.stack_bytes(pc, m.regs[1], len)?;
-                    m.env.trace(bytes);
-                    m.regs[1..6].fill(0);
-                    m.regs[0] = len as u64;
                 }
                 PInsn::CallMap { op, helper } => {
                     if let Some(inj) = injector {

@@ -684,6 +684,20 @@ fn call_helper(
                         expected: "a length within the stack",
                     });
                 }
+                // `trace_emit` payloads are bounded by the trace record's
+                // inline capacity, and an empty emit is meaningless —
+                // reject both ends statically so the runtime check can
+                // never fire on a verified program.
+                if id == HelperId::TraceEmit
+                    && !(1..=crate::helpers::TRACE_EMIT_MAX_PAYLOAD as u64).contains(&len)
+                {
+                    return Err(VerifyError::BadHelperArg {
+                        pc,
+                        helper,
+                        arg: (i + 2) as u8,
+                        expected: "a trace_emit payload length in 1..=16",
+                    });
+                }
                 match t {
                     RType::PtrStack { off } => st.stack_readable(pc, off, len as usize)?,
                     _ => {

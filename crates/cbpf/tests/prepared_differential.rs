@@ -255,6 +255,51 @@ proptest! {
         }
     }
 
+    /// `trace_emit` charges its fixed weight identically on both engines
+    /// at *every* budget: same `RunReport::insns`, same `BudgetExhausted`
+    /// boundary, same captured payloads. This is what keeps figure CSVs
+    /// byte-identical when tracing is disarmed — the weight never depends
+    /// on the telemetry plane's armed state.
+    #[test]
+    fn trace_emit_weight_is_identical_on_both_engines(
+        len in 1i32..=16,
+        fill in any::<u64>(),
+        budget in 0u64..32,
+    ) {
+        let insns = vec![
+            Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R0, src: Operand::Imm(0) },
+            Insn::LdImm64 { dst: Reg::R3, imm: fill },
+            Insn::Store { size: MemSize::Dw, base: Reg::R10, off: -16, src: Operand::Reg(Reg::R3) },
+            Insn::Store { size: MemSize::Dw, base: Reg::R10, off: -8, src: Operand::Reg(Reg::R3) },
+            Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R1, src: Operand::Reg(Reg::R10) },
+            Insn::Alu { wide: true, op: AluOp::Add, dst: Reg::R1, src: Operand::Imm(-16) },
+            Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R2, src: Operand::Imm(len) },
+            Insn::Call { helper: HelperId::TraceEmit as u32 },
+            Insn::Exit,
+        ];
+        let prog = Program::new("emit", insns, Vec::new());
+        prop_assert!(verify(&prog, &CtxLayout::empty()).is_ok());
+        let env_legacy = FixedEnv::new();
+        let env_prepared = FixedEnv::new();
+        let legacy = run_with_budget(&prog, &mut [], &CtxLayout::empty(), &env_legacy, budget);
+        let prepared = prog
+            .prepare(&CtxLayout::empty())
+            .run(&mut [], &env_prepared, budget);
+        prop_assert_eq!(&legacy, &prepared, "trace_emit budget accounting diverges");
+        prop_assert_eq!(env_legacy.emits(), env_prepared.emits(), "payloads diverge");
+        // 8 unit-weight instructions + TRACE_EMIT_WEIGHT for the call.
+        let full_cost = 8 + u64::from(cbpf::helpers::TRACE_EMIT_WEIGHT);
+        if budget >= full_cost {
+            let report = legacy.expect("enough budget");
+            prop_assert_eq!(report.insns, full_cost);
+            prop_assert_eq!(report.ret, 0);
+            let expect = fill.to_le_bytes().repeat(2)[..len as usize].to_vec();
+            prop_assert_eq!(env_legacy.emits(), vec![expect]);
+        } else {
+            prop_assert!(legacy.is_err(), "must exhaust below the fixed cost");
+        }
+    }
+
     /// With a budget too small to finish, both engines fail with the same
     /// `BudgetExhausted` at the same point (the prepared loop keeps the
     /// budget-before-fetch ordering).

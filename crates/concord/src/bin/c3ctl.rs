@@ -24,8 +24,15 @@
 //! hammer <lock> <threads> <n>   acquire/release n times on each thread
 //! stats <lock>                  shuffle/park statistics
 //! store                         list pinned objects
+//! trace [on|off|tail [n]|json]  arm/disarm/inspect the trace plane
+//! metrics                       dump the metrics registry (Prometheus text)
+//! top                           rank locks by trace-plane slow-path activity
 //! help | quit
 //! ```
+//!
+//! Setting `C3_TRACE=1` in the environment arms the trace plane at
+//! startup, so every lock transition, hook span and policy-emitted event
+//! is captured from the first acquisition.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -88,7 +95,7 @@ impl Ctl {
         let result = match cmd {
             "quit" | "exit" => return false,
             "help" => {
-                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quarantines quit");
+                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quarantines trace metrics top quit");
                 Ok(())
             }
             "locks" => {
@@ -161,6 +168,18 @@ impl Ctl {
             }
             "hammer" => self.cmd_hammer(parts.next(), parts.next(), parts.next()),
             "stats" => self.cmd_stats(parts.next()),
+            "trace" => self.cmd_trace(parts.next(), parts.next()),
+            "metrics" => {
+                // Refresh the plane gauges so the dump always carries the
+                // trace-plane state alongside the control-plane counters.
+                let m = telemetry::metrics();
+                m.gauge("c3_trace_armed").set(i64::from(telemetry::armed()));
+                m.gauge("c3_trace_dropped_total")
+                    .set(telemetry::dropped() as i64);
+                print!("{}", m.render_prometheus());
+                Ok(())
+            }
+            "top" => self.cmd_top(),
             "store" => {
                 for p in self.concord.store().list_programs("") {
                     println!("  prog {p}");
@@ -314,6 +333,93 @@ impl Ctl {
         Ok(())
     }
 
+    fn cmd_trace(&mut self, sub: Option<&str>, arg: Option<&str>) -> Result<(), String> {
+        match sub {
+            Some("on") => {
+                telemetry::set_armed(true);
+                println!("  trace plane armed");
+                Ok(())
+            }
+            Some("off") => {
+                telemetry::set_armed(false);
+                println!("  trace plane disarmed");
+                Ok(())
+            }
+            Some("tail") => {
+                let n = match arg {
+                    Some(s) => s.parse::<usize>().map_err(|e| e.to_string())?,
+                    None => 32,
+                };
+                let events = telemetry::snapshot_last(n);
+                if events.is_empty() {
+                    println!("  (no trace events — arm with `trace on` and drive load)");
+                }
+                for ev in &events {
+                    println!("  {}", ev.render());
+                }
+                Ok(())
+            }
+            Some("json") => {
+                // Drain (consume) into chrome://tracing format.
+                let events = telemetry::drain();
+                println!("{}", telemetry::export::to_chrome_json(&events));
+                Ok(())
+            }
+            None | Some("status") => {
+                println!(
+                    "  armed={} dropped={}",
+                    telemetry::armed(),
+                    telemetry::dropped()
+                );
+                Ok(())
+            }
+            Some(other) => Err(format!(
+                "unknown trace subcommand `{other}` (on|off|tail [n]|json|status)"
+            )),
+        }
+    }
+
+    /// Ranks locks by slow-path activity currently resident in the trace
+    /// rings — the trace-plane analogue of `lockstat -top`.
+    fn cmd_top(&mut self) -> Result<(), String> {
+        let events = telemetry::snapshot_last(usize::MAX);
+        if events.is_empty() {
+            println!("  (no trace events — arm with `trace on` and drive load)");
+            return Ok(());
+        }
+        // (acquires, contended, hook spans) per lock id.
+        let mut by_lock: HashMap<u64, (u64, u64, u64)> = HashMap::new();
+        for ev in &events {
+            let row = by_lock.entry(ev.a).or_default();
+            match ev.kind {
+                telemetry::EventKind::LockAcquire => row.0 += 1,
+                telemetry::EventKind::LockContended => row.1 += 1,
+                telemetry::EventKind::HookSpan => row.2 += 1,
+                _ => {}
+            }
+        }
+        let mut names: HashMap<u64, String> = HashMap::new();
+        for name in self.concord.registry().names() {
+            if let Some(h) = self.concord.registry().get(&name) {
+                names.insert(h.id(), name);
+            }
+        }
+        let mut rows: Vec<_> = by_lock.into_iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse((r.1 .1, r.1 .0)));
+        println!(
+            "  {:<16} {:>10} {:>10} {:>10}",
+            "lock", "acquires", "contended", "hook-spans"
+        );
+        for (id, (acq, cont, spans)) in rows {
+            let name = names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("#{id:x}"));
+            println!("  {name:<16} {acq:>10} {cont:>10} {spans:>10}");
+        }
+        Ok(())
+    }
+
     fn cmd_stats(&mut self, lock: Option<&str>) -> Result<(), String> {
         let name = lock.ok_or("usage: stats <lock>")?;
         if let Some(l) = self.shfl.get(name) {
@@ -328,6 +434,7 @@ impl Ctl {
 }
 
 fn main() {
+    telemetry::arm_from_env();
     let mut ctl = Ctl::new();
     let args: Vec<String> = std::env::args().collect();
     if let Some(script) = args.get(1) {

@@ -86,6 +86,10 @@ const STATE_CLOSED: u8 = 0;
 const STATE_OPEN: u8 = 1;
 const STATE_HALF_OPEN: u8 = 2;
 
+/// How many flight-recorder events a quarantine captures from the trace
+/// plane (the most recent records still resident in the rings).
+pub const FLIGHT_RECORDER_EVENTS: usize = 64;
+
 /// Per-(lock, hook, tenant) fault accounting and trip logic.
 #[derive(Debug)]
 pub struct Breaker {
@@ -95,6 +99,10 @@ pub struct Breaker {
     opened_at: AtomicU64,
     trips: AtomicU64,
     by_kind: [AtomicU64; 4],
+    /// Telemetry identity: FNV hash of the guarded lock's name and the
+    /// hook bit, carried by `BreakerTrip` trace records (0 = untagged).
+    tag_lock: AtomicU64,
+    tag_hook: AtomicU64,
 }
 
 impl Breaker {
@@ -107,7 +115,16 @@ impl Breaker {
             opened_at: AtomicU64::new(0),
             trips: AtomicU64::new(0),
             by_kind: Default::default(),
+            tag_lock: AtomicU64::new(0),
+            tag_hook: AtomicU64::new(0),
         }
+    }
+
+    /// Tags the breaker with the guarded lock (name hash) and hook bit so
+    /// trip trace records identify the policy being contained.
+    pub fn set_tag(&self, lock_hash: u64, hook_bit: u64) {
+        self.tag_lock.store(lock_hash, Ordering::Relaxed);
+        self.tag_hook.store(hook_bit, Ordering::Relaxed);
     }
 
     /// The configuration.
@@ -164,7 +181,7 @@ impl Breaker {
     /// breaker (closed threshold reached, or a half-open probe failing).
     pub fn record_fault(&self, kind: FaultKind, now_ns: u64) -> bool {
         self.by_kind[kind.index()].fetch_add(1, Ordering::Relaxed);
-        match self.state.load(Ordering::Acquire) {
+        let tripped = match self.state.load(Ordering::Acquire) {
             STATE_OPEN => false,
             STATE_HALF_OPEN => {
                 self.trip(now_ns);
@@ -179,7 +196,22 @@ impl Breaker {
                     false
                 }
             }
+        };
+        if tripped {
+            telemetry::metrics().counter("c3_breaker_trips_total").inc();
         }
+        if tripped && telemetry::armed() {
+            telemetry::emit(
+                telemetry::EventKind::BreakerTrip,
+                now_ns,
+                0,
+                self.tag_lock.load(Ordering::Relaxed),
+                self.tag_hook.load(Ordering::Relaxed),
+                u64::from(self.cfg.threshold),
+                kind.index() as u64,
+            );
+        }
+        tripped
     }
 
     fn trip(&self, now_ns: u64) {
@@ -249,6 +281,21 @@ pub struct QuarantineRecord {
     pub at_ns: u64,
     /// Owning tenant, when the attach was tenant-scoped.
     pub tenant: Option<u32>,
+    /// Flight recorder: the last [`FLIGHT_RECORDER_EVENTS`] trace records
+    /// still resident in the telemetry rings when the policy was pulled —
+    /// what the lock was doing right before the quarantine. Empty when the
+    /// trace plane was disarmed.
+    pub events: Vec<telemetry::TraceEvent>,
+}
+
+/// Drains the flight recorder for a quarantine record: the most recent
+/// trace records when armed, nothing when disarmed.
+pub(crate) fn flight_record() -> Vec<telemetry::TraceEvent> {
+    if telemetry::armed() {
+        telemetry::snapshot_last(FLIGHT_RECORDER_EVENTS)
+    } else {
+        Vec::new()
+    }
 }
 
 /// Containment wrapper for simulated locks: a [`SimPolicy`] that guards

@@ -12,6 +12,9 @@ pub struct RealEnv {
     traces: Arc<Mutex<Vec<Vec<u8>>>>,
     priorities: Arc<Mutex<std::collections::HashMap<u64, i64>>>,
     cores_per_socket: u32,
+    /// Lock served by the in-flight hook invocation (telemetry labeling;
+    /// written by the policy layer only while the trace plane is armed).
+    current_lock: std::sync::atomic::AtomicU64,
 }
 
 impl RealEnv {
@@ -21,7 +24,15 @@ impl RealEnv {
             traces: Arc::new(Mutex::new(Vec::new())),
             priorities: Arc::new(Mutex::new(Default::default())),
             cores_per_socket: 10,
+            current_lock: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Records which lock the next policy invocation serves, so
+    /// policy-emitted trace records carry the lock identity.
+    pub fn note_lock(&self, lock_id: u64) {
+        self.current_lock
+            .store(lock_id, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Registers a task priority visible to the `task_priority` helper —
@@ -87,6 +98,19 @@ impl PolicyEnv for RealEnv {
     fn trace(&self, bytes: &[u8]) {
         self.traces.lock().push(bytes.to_vec());
     }
+
+    fn trace_emit(&self, payload: &[u8]) {
+        telemetry::emit_payload(
+            telemetry::EventKind::PolicyEmit,
+            locks::now_ns(),
+            locks::topo::current_cpu() as u16,
+            self.current_lock.load(std::sync::atomic::Ordering::Relaxed),
+            locks::topo::current_tid(),
+            0,
+            0,
+            payload,
+        );
+    }
 }
 
 /// Environment for one hook invocation inside the simulator: the invoking
@@ -100,6 +124,8 @@ pub struct SimHookEnv {
     pub now_ns: u64,
     /// Invoking task id.
     pub pid: u64,
+    /// Lock served by this invocation (telemetry labeling).
+    pub lock_id: u64,
     /// Cores per socket (topology query).
     pub cores_per_socket: u32,
     /// Pseudo-random value for this invocation.
@@ -145,6 +171,21 @@ impl PolicyEnv for SimHookEnv {
             _ => true,
         }
     }
+
+    fn trace_emit(&self, payload: &[u8]) {
+        // Virtual-time clock domain: the captured invocation time, so DES
+        // traces replay bit-identically for a fixed seed.
+        telemetry::emit_payload(
+            telemetry::EventKind::PolicyEmit,
+            self.now_ns,
+            self.cpu as u16,
+            self.lock_id,
+            self.pid,
+            0,
+            0,
+            payload,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +224,7 @@ mod tests {
             socket: 3,
             now_ns: 777,
             pid: 5,
+            lock_id: 0,
             cores_per_socket: 10,
             random: 42,
             priorities: Arc::new(Mutex::new([(5u64, 2i64)].into_iter().collect())),
@@ -206,6 +248,7 @@ mod tests {
             socket: 0,
             now_ns: 0,
             pid: 1,
+            lock_id: 0,
             cores_per_socket: 10,
             random: 0,
             priorities: Arc::new(Mutex::new(Default::default())),

@@ -109,7 +109,10 @@ pub fn layout_for(kind: HookKind) -> &'static CtxLayout {
 /// Decision hooks sit on the shuffler's path: they get a tight instruction
 /// budget and may not call `trace_printk` (unbounded critical-section
 /// growth belongs to the profiling hooks, where Table 1 declares that
-/// hazard). No hook may write its context.
+/// hazard). `trace_emit` *is* allowed everywhere: its payload is bounded
+/// at 16 bytes, its cost is a fixed instruction weight charged to the
+/// budget, and it lands in a lock-free ring — safe even on the shuffler's
+/// path. No hook may write its context.
 pub fn rules_for(kind: HookKind) -> HookRules {
     let decision_helpers = vec![
         HelperId::MapLookup,
@@ -122,6 +125,7 @@ pub fn rules_for(kind: HookKind) -> HookRules {
         HelperId::TaskPriority,
         HelperId::CpuToNode,
         HelperId::CpuOnline,
+        HelperId::TraceEmit,
     ];
     match kind {
         HookKind::CmpNode | HookKind::SkipShuffle | HookKind::ScheduleWaiter => HookRules {
@@ -340,6 +344,10 @@ mod tests {
         let allowed = r.allowed_helpers.unwrap();
         assert!(!allowed.contains(&HelperId::TracePrintk));
         assert!(allowed.contains(&HelperId::NumaId));
+        assert!(
+            allowed.contains(&HelperId::TraceEmit),
+            "bounded trace_emit is decision-hook safe"
+        );
         let e = rules_for(HookKind::LockAcquired);
         assert_eq!(e.max_insns, Some(512));
         assert!(e.allowed_helpers.is_none());

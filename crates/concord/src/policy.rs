@@ -39,7 +39,17 @@ pub const NS_PER_INSN: u64 = 2;
 
 /// Instruction budget per hook invocation (second-layer guard; verified
 /// policies are loop-free and cannot come close).
-const HOOK_BUDGET: u64 = 1 << 16;
+pub(crate) const HOOK_BUDGET: u64 = 1 << 16;
+
+/// Lock identity of a marshalled hook context: `lock_id` is field 0 of
+/// every layout (see `hookctx`), so the policy layer can label telemetry
+/// without widening its call signatures.
+#[inline]
+fn ctx_lock_id(ctx: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&ctx[..8]);
+    u64::from_le_bytes(b)
+}
 
 /// A policy was loaded for one hook but requested as another — surfaced
 /// as a typed error instead of a panic inside a lock's hook path.
@@ -135,6 +145,11 @@ impl BytecodePolicy {
                 return fail_safe_default(self.hook);
             }
         }
+        if telemetry::armed() {
+            // Label policy-emitted records with the lock this invocation
+            // serves (the env outlives any single hook call).
+            self.env.note_lock(ctx_lock_id(ctx));
+        }
         let outcome =
             self.prog
                 .prepared()
@@ -143,6 +158,17 @@ impl BytecodePolicy {
             Ok(report) => {
                 if let Some(b) = &self.breaker {
                     b.record_ok();
+                }
+                if telemetry::armed() {
+                    telemetry::emit(
+                        telemetry::EventKind::HookSpan,
+                        self.env.ktime_ns(),
+                        self.env.cpu_id() as u16,
+                        ctx_lock_id(ctx),
+                        u64::from(self.hook.bit()),
+                        report.insns,
+                        HOOK_BUDGET - report.insns,
+                    );
                 }
                 report.ret
             }
@@ -373,6 +399,7 @@ impl SimBytecodePolicy {
             socket: cpu / self.cores_per_socket,
             now_ns: now,
             pid,
+            lock_id: ctx_lock_id(ctx),
             cores_per_socket: self.cores_per_socket,
             random: self.next_random(),
             priorities: Arc::clone(&self.priorities),
@@ -385,6 +412,19 @@ impl SimBytecodePolicy {
             Ok(report) => {
                 if let Some(b) = &self.breaker {
                     b.record_ok();
+                }
+                if telemetry::armed() {
+                    // Virtual-time span; charges no virtual time itself, so
+                    // armed and disarmed runs produce identical figures.
+                    telemetry::emit(
+                        telemetry::EventKind::HookSpan,
+                        now,
+                        cpu as u16,
+                        env.lock_id,
+                        u64::from(hook.bit()),
+                        report.insns,
+                        HOOK_BUDGET - report.insns,
+                    );
                 }
                 (report.ret, check + HOOK_CALL_NS + report.insns * NS_PER_INSN)
             }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use cbpf::map::{Map, MapDef, MapKind};
 use ksim::Histogram;
 use locks::hooks::HookKind;
-use parking_lot::Mutex;
+use telemetry::AtomicHistogram;
 
 use crate::workflow::{AttachHandle, Concord, ConcordError};
 
@@ -56,8 +56,10 @@ pub struct LockProfile {
     contended: AtomicU64,
     acquired: AtomicU64,
     releases: AtomicU64,
-    hold_hist: Mutex<Histogram>,
-    wait_hist: Mutex<Histogram>,
+    // Lock-free log2 histograms: hook invocations from contending threads
+    // record without serializing on a profiler mutex.
+    hold_hist: AtomicHistogram,
+    wait_hist: AtomicHistogram,
     // tid → timestamps for in-flight operations.
     attempt_ts: Map,
     acquired_ts: Map,
@@ -70,8 +72,8 @@ impl Default for LockProfile {
             contended: AtomicU64::new(0),
             acquired: AtomicU64::new(0),
             releases: AtomicU64::new(0),
-            hold_hist: Mutex::default(),
-            wait_hist: Mutex::default(),
+            hold_hist: AtomicHistogram::new(),
+            wait_hist: AtomicHistogram::new(),
             attempt_ts: ts_map("attempt_ts"),
             acquired_ts: ts_map("acquired_ts"),
         }
@@ -91,12 +93,14 @@ impl LockProfile {
 
     /// Snapshot of the hold-time histogram.
     pub fn hold_hist(&self) -> Histogram {
-        self.hold_hist.lock().clone()
+        let (buckets, count, sum, min, max) = self.hold_hist.raw_parts();
+        Histogram::from_raw(buckets, count, sum, min, max)
     }
 
     /// Snapshot of the wait-time histogram.
     pub fn wait_hist(&self) -> Histogram {
-        self.wait_hist.lock().clone()
+        let (buckets, count, sum, min, max) = self.wait_hist.raw_parts();
+        Histogram::from_raw(buckets, count, sum, min, max)
     }
 
     /// Contention ratio (contended / attempts), 0 when idle.
@@ -195,7 +199,7 @@ impl Profiler {
             Arc::new(move |ctx| {
                 p.acquired.fetch_add(1, Ordering::Relaxed);
                 if let Some(start) = ts_remove(&p.attempt_ts, ctx.tid) {
-                    p.wait_hist.lock().record(ctx.now_ns.saturating_sub(start));
+                    p.wait_hist.record(ctx.now_ns.saturating_sub(start));
                 }
                 ts_insert(&p.acquired_ts, ctx.tid, ctx.now_ns);
             }),
@@ -209,7 +213,7 @@ impl Profiler {
             Arc::new(move |ctx| {
                 p.releases.fetch_add(1, Ordering::Relaxed);
                 if let Some(start) = ts_remove(&p.acquired_ts, ctx.tid) {
-                    p.hold_hist.lock().record(ctx.now_ns.saturating_sub(start));
+                    p.hold_hist.record(ctx.now_ns.saturating_sub(start));
                 }
             }),
         )?;

@@ -272,9 +272,35 @@ impl LockWatchdog {
     }
 
     /// Checks the current window against the baseline (no action taken).
+    /// Every judgment — clean or hazardous — lands in the trace plane as
+    /// a [`telemetry::EventKind::WatchdogVerdict`] record when armed.
     pub fn check(&self) -> Option<HazardReport> {
         let baseline = self.baseline?;
-        detect(&baseline, &self.current(), &self.cfg)
+        let current = self.current();
+        let verdict = detect(&baseline, &current, &self.cfg);
+        if verdict.is_some() {
+            telemetry::metrics()
+                .counter("c3_watchdog_hazards_total")
+                .inc();
+        }
+        if telemetry::armed() {
+            let hazard_class = match verdict.as_ref().map(|r| r.hazard) {
+                None => 0,
+                Some(Hazard::Fairness) => 1,
+                Some(Hazard::Performance) => 2,
+                Some(Hazard::CriticalSection) => 3,
+            };
+            telemetry::emit(
+                telemetry::EventKind::WatchdogVerdict,
+                locks::now_ns(),
+                locks::topo::current_cpu() as u16,
+                telemetry::event::fnv64(&self.lock),
+                hazard_class,
+                current.acquisitions,
+                u64::from(verdict.is_some()),
+            );
+        }
+        verdict
     }
 
     /// One enforcement pass: on a hazard, auto-reverts the policy behind

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use simlocks::policy::SimPolicy;
 use simlocks::SimShflLock;
 
-use crate::containment::{Breaker, BreakerConfig, QuarantineRecord};
+use crate::containment::{flight_record, Breaker, BreakerConfig, QuarantineRecord};
 use crate::env::RealEnv;
 use crate::hookctx;
 use crate::policy::{BytecodePolicy, HookMismatch, SimBytecodePolicy};
@@ -324,6 +324,10 @@ impl Concord {
         injector: Option<Arc<FaultInjector>>,
     ) -> Result<(AttachHandle, Arc<Breaker>), ConcordError> {
         let breaker = Arc::new(Breaker::new(cfg));
+        breaker.set_tag(
+            telemetry::event::fnv64(lock),
+            u64::from(policy.hook.bit()),
+        );
         let bytecode = BytecodePolicy::contained(
             policy.prog.clone(),
             policy.hook,
@@ -559,13 +563,25 @@ impl Concord {
             if self.patches.revert_transaction(entry.patch).is_err() {
                 continue;
             }
+            let at_ns = self.env.ktime_ns();
+            telemetry::metrics().counter("c3_quarantines_total").inc();
+            telemetry::emit(
+                telemetry::EventKind::Quarantine,
+                at_ns,
+                0,
+                telemetry::event::fnv64(&entry.lock),
+                u64::from(entry.hook.bit()),
+                entry.breaker.total_faults(),
+                0,
+            );
             let record = QuarantineRecord {
                 lock: entry.lock,
                 hook: entry.hook,
                 policy: entry.policy,
                 reason: entry.breaker.reason(),
-                at_ns: self.env.ktime_ns(),
+                at_ns,
                 tenant: entry.tenant,
+                events: flight_record(),
             };
             self.registry.record_quarantine(record.clone());
             records.push(record);
@@ -595,13 +611,25 @@ impl Concord {
             // Untracked (plain) attaches are recorded under the patch name.
             named.unwrap_or_else(|| format!("{}/{}", handle.lock, handle.hook.name()))
         };
+        let at_ns = self.env.ktime_ns();
+        telemetry::metrics().counter("c3_quarantines_total").inc();
+        telemetry::emit(
+            telemetry::EventKind::Quarantine,
+            at_ns,
+            0,
+            telemetry::event::fnv64(&handle.lock),
+            u64::from(handle.hook.bit()),
+            0,
+            0,
+        );
         let record = QuarantineRecord {
             lock: handle.lock,
             hook: handle.hook,
             policy,
             reason,
-            at_ns: self.env.ktime_ns(),
+            at_ns,
             tenant: None,
+            events: flight_record(),
         };
         self.registry.record_quarantine(record.clone());
         Ok(record)
@@ -662,6 +690,16 @@ impl Concord {
         at_ns: u64,
     ) -> QuarantineRecord {
         self.detach_sim(lock);
+        telemetry::metrics().counter("c3_quarantines_total").inc();
+        telemetry::emit(
+            telemetry::EventKind::Quarantine,
+            at_ns,
+            0,
+            telemetry::event::fnv64(name),
+            u64::from(hook.bit()),
+            0,
+            0,
+        );
         let record = QuarantineRecord {
             lock: name.to_string(),
             hook,
@@ -669,6 +707,7 @@ impl Concord {
             reason,
             at_ns,
             tenant: None,
+            events: flight_record(),
         };
         self.registry.record_quarantine(record.clone());
         record

@@ -44,6 +44,20 @@ impl Histogram {
         }
     }
 
+    /// Reconstructs a histogram from raw parts — the snapshot of an
+    /// atomic-bucket histogram (e.g. `telemetry::AtomicHistogram`), which
+    /// shares this bucketing exactly. An all-zero `count` yields an empty
+    /// histogram regardless of `min`.
+    pub fn from_raw(buckets: [u64; 64], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
         let idx = if v <= 1 {

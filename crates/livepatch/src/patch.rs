@@ -33,6 +33,33 @@ struct PatchOp {
     revert: Box<dyn Fn() + Send + Sync>,
 }
 
+/// Emits a patch-transition trace record (when the plane is armed):
+/// `a` = FNV-1a hash of the patch name, `b` = number of patched sites,
+/// `c` = patch id, payload = name prefix. Uses [`telemetry::clock`] so a
+/// DES driver can pin control-plane transitions to virtual time. The
+/// metrics counters run unconditionally — patch transitions are
+/// control-plane rate, never on a lock path.
+fn trace_patch(kind: telemetry::EventKind, name: &str, sites: u64, id: u64) {
+    let metric = if kind == telemetry::EventKind::PatchApply {
+        "c3_patch_apply_total"
+    } else {
+        "c3_patch_revert_total"
+    };
+    telemetry::metrics().counter(metric).inc();
+    if telemetry::armed() {
+        telemetry::emit_payload(
+            kind,
+            telemetry::clock::now_ns(),
+            0,
+            telemetry::event::fnv64(name),
+            sites,
+            id,
+            0,
+            name.as_bytes(),
+        );
+    }
+}
+
 /// A to-be-applied patch: a named set of slot replacements.
 ///
 /// # Examples
@@ -144,6 +171,12 @@ impl PatchManager {
             *next += 1;
             *next
         };
+        trace_patch(
+            telemetry::EventKind::PatchApply,
+            &patch.name,
+            patch.ops.len() as u64,
+            id,
+        );
         self.stack.lock().push(Applied {
             id,
             name: patch.name,
@@ -168,6 +201,12 @@ impl PatchManager {
                 for op in applied.ops.iter().rev() {
                     (op.revert)();
                 }
+                trace_patch(
+                    telemetry::EventKind::PatchRevert,
+                    &applied.name,
+                    applied.ops.len() as u64,
+                    applied.id,
+                );
                 Ok(())
             }
             _ => {
@@ -215,6 +254,12 @@ impl PatchManager {
         for op in target.ops.iter().rev() {
             (op.revert)();
         }
+        trace_patch(
+            telemetry::EventKind::PatchRevert,
+            &target.name,
+            target.ops.len() as u64,
+            target.id,
+        );
         // Re-apply the survivors in their original order, keeping their
         // ids so existing handles stay valid.
         let mut names = Vec::with_capacity(tail.len());

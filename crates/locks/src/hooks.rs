@@ -161,7 +161,9 @@ impl HookKind {
         }
     }
 
-    fn bit(self) -> u32 {
+    /// Bit of this hook in activity masks (also the `b` argument of
+    /// telemetry hook-span records, so traces can name the hook).
+    pub fn bit(self) -> u32 {
         match self {
             HookKind::CmpNode => 1,
             HookKind::SkipShuffle => 2,
@@ -170,6 +172,19 @@ impl HookKind {
             HookKind::LockContended => 16,
             HookKind::LockAcquired => 32,
             HookKind::LockRelease => 64,
+        }
+    }
+
+    /// Telemetry event kind for records emitted at this hook's site.
+    pub fn event_kind(self) -> telemetry::EventKind {
+        match self {
+            HookKind::CmpNode => telemetry::EventKind::CmpNode,
+            HookKind::SkipShuffle => telemetry::EventKind::SkipShuffle,
+            HookKind::ScheduleWaiter => telemetry::EventKind::ScheduleWaiter,
+            HookKind::LockAcquire => telemetry::EventKind::LockAcquire,
+            HookKind::LockContended => telemetry::EventKind::LockContended,
+            HookKind::LockAcquired => telemetry::EventKind::LockAcquired,
+            HookKind::LockRelease => telemetry::EventKind::LockRelease,
         }
     }
 }
@@ -274,6 +289,34 @@ impl ShflHooks {
         self.set_active(kind, false);
     }
 
+    /// True when an event site must build its context: a policy is
+    /// attached *or* the telemetry plane is armed. Two relaxed loads on
+    /// the bare fast path; the context (tid/cpu/timestamp lookups) is only
+    /// materialized behind this check.
+    #[inline]
+    pub fn observed(&self, kind: HookKind) -> bool {
+        self.is_active(kind) || telemetry::armed()
+    }
+
+    /// Emits a lock-transition trace record (when armed) and fires the
+    /// matching event hook (when installed). Lock slow paths call this
+    /// instead of [`ShflHooks::fire_event`] so armed runs capture the
+    /// transition even with no policy attached.
+    pub fn dispatch_event(&self, kind: HookKind, ctx: &LockEventCtx) {
+        if telemetry::armed() {
+            telemetry::emit(
+                kind.event_kind(),
+                ctx.now_ns,
+                ctx.cpu as u16,
+                ctx.lock_id,
+                ctx.tid,
+                u64::from(ctx.socket),
+                0,
+            );
+        }
+        self.fire_event(kind, ctx);
+    }
+
     /// Fires an event hook if installed.
     #[inline]
     pub fn fire_event(&self, kind: HookKind, ctx: &LockEventCtx) {
@@ -295,39 +338,78 @@ impl ShflHooks {
     /// Evaluates `cmp_node`; vacant slot ⇒ `false` (no reorder).
     #[inline]
     pub fn eval_cmp_node(&self, ctx: &CmpNodeCtx) -> bool {
-        if !self.is_active(HookKind::CmpNode) {
-            return false;
+        let verdict = if !self.is_active(HookKind::CmpNode) {
+            false
+        } else {
+            match self.cmp_node.get().as_ref() {
+                Some(f) => f(ctx),
+                None => false,
+            }
+        };
+        if telemetry::armed() {
+            telemetry::emit(
+                telemetry::EventKind::CmpNode,
+                crate::now_ns(),
+                crate::topo::current_cpu() as u16,
+                ctx.lock_id,
+                ctx.shuffler.tid,
+                ctx.curr.tid,
+                u64::from(verdict),
+            );
         }
-        match self.cmp_node.get().as_ref() {
-            Some(f) => f(ctx),
-            None => false,
-        }
+        verdict
     }
 
     /// Evaluates `skip_shuffle`; vacant slot ⇒ `true` (no shuffling, i.e.
     /// plain FIFO — shuffling only happens when a policy asks for it).
     #[inline]
     pub fn eval_skip_shuffle(&self, ctx: &SkipShuffleCtx) -> bool {
-        if !self.is_active(HookKind::SkipShuffle) {
+        let verdict = if !self.is_active(HookKind::SkipShuffle) {
             // With a cmp_node policy installed but no skip policy, shuffle.
-            return !self.is_active(HookKind::CmpNode);
+            !self.is_active(HookKind::CmpNode)
+        } else {
+            match self.skip_shuffle.get().as_ref() {
+                Some(f) => f(ctx),
+                None => true,
+            }
+        };
+        if telemetry::armed() {
+            telemetry::emit(
+                telemetry::EventKind::SkipShuffle,
+                crate::now_ns(),
+                crate::topo::current_cpu() as u16,
+                ctx.lock_id,
+                ctx.shuffler.tid,
+                0,
+                u64::from(verdict),
+            );
         }
-        match self.skip_shuffle.get().as_ref() {
-            Some(f) => f(ctx),
-            None => true,
-        }
+        verdict
     }
 
     /// Evaluates `schedule_waiter`; vacant slot ⇒ `true` (parking allowed).
     #[inline]
     pub fn eval_schedule_waiter(&self, ctx: &ScheduleWaiterCtx) -> bool {
-        if !self.is_active(HookKind::ScheduleWaiter) {
-            return true;
+        let verdict = if !self.is_active(HookKind::ScheduleWaiter) {
+            true
+        } else {
+            match self.schedule_waiter.get().as_ref() {
+                Some(f) => f(ctx),
+                None => true,
+            }
+        };
+        if telemetry::armed() {
+            telemetry::emit(
+                telemetry::EventKind::ScheduleWaiter,
+                crate::now_ns(),
+                crate::topo::current_cpu() as u16,
+                ctx.lock_id,
+                ctx.curr.tid,
+                ctx.waited_ns,
+                u64::from(verdict),
+            );
         }
-        match self.schedule_waiter.get().as_ref() {
-            Some(f) => f(ctx),
-            None => true,
-        }
+        verdict
     }
 }
 

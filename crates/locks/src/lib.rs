@@ -78,10 +78,9 @@ pub use shfl_block::ShflMutex;
 pub use tas::TasLock;
 pub use ticket::TicketLock;
 
-/// Monotonic nanosecond clock shared by lock implementations and profiling.
+/// Monotonic nanosecond clock shared by lock implementations, profiling,
+/// and the telemetry plane (one epoch, so trace timestamps from different
+/// layers interleave correctly).
 pub fn now_ns() -> u64 {
-    use std::sync::OnceLock;
-    use std::time::Instant;
-    static START: OnceLock<Instant> = OnceLock::new();
-    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    telemetry::clock::real_now_ns()
 }

@@ -252,9 +252,9 @@ impl ShflLock {
 
 impl RawLock for ShflLock {
     fn acquire(&self) {
-        if self.hooks.is_active(HookKind::LockAcquire) {
+        if self.hooks.observed(HookKind::LockAcquire) {
             self.hooks
-                .fire_event(HookKind::LockAcquire, &self.event_ctx());
+                .dispatch_event(HookKind::LockAcquire, &self.event_ctx());
         }
         // Fast path, only when the queue is empty (qspinlock discipline:
         // unbounded stealing can starve the queue head).
@@ -265,15 +265,15 @@ impl RawLock for ShflLock {
                 .is_ok()
         {
             self.note_acquired();
-            if self.hooks.is_active(HookKind::LockAcquired) {
+            if self.hooks.observed(HookKind::LockAcquired) {
                 self.hooks
-                    .fire_event(HookKind::LockAcquired, &self.event_ctx());
+                    .dispatch_event(HookKind::LockAcquired, &self.event_ctx());
             }
             return;
         }
-        if self.hooks.is_active(HookKind::LockContended) {
+        if self.hooks.observed(HookKind::LockContended) {
             self.hooks
-                .fire_event(HookKind::LockContended, &self.event_ctx());
+                .dispatch_event(HookKind::LockContended, &self.event_ctx());
         }
 
         let node = Self::new_node();
@@ -346,16 +346,16 @@ impl RawLock for ShflLock {
         }
         self.holder.store(ptr::null_mut(), Ordering::Relaxed);
         self.note_acquired();
-        if self.hooks.is_active(HookKind::LockAcquired) {
+        if self.hooks.observed(HookKind::LockAcquired) {
             self.hooks
-                .fire_event(HookKind::LockAcquired, &self.event_ctx());
+                .dispatch_event(HookKind::LockAcquired, &self.event_ctx());
         }
     }
 
     fn release(&self) {
-        if self.hooks.is_active(HookKind::LockRelease) {
+        if self.hooks.observed(HookKind::LockRelease) {
             self.hooks
-                .fire_event(HookKind::LockRelease, &self.event_ctx());
+                .dispatch_event(HookKind::LockRelease, &self.event_ctx());
         }
         debug_assert!(
             self.locked.load(Ordering::Relaxed),
@@ -369,9 +369,9 @@ impl RawLock for ShflLock {
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok();
-        if ok && self.hooks.is_active(HookKind::LockAcquired) {
+        if ok && self.hooks.observed(HookKind::LockAcquired) {
             self.hooks
-                .fire_event(HookKind::LockAcquired, &self.event_ctx());
+                .dispatch_event(HookKind::LockAcquired, &self.event_ctx());
         }
         ok
     }

@@ -159,8 +159,8 @@ impl ShflMutex {
 
 impl RawLock for ShflMutex {
     fn acquire(&self) {
-        if self.hooks.is_active(HookKind::LockAcquire) {
-            self.hooks.fire_event(
+        if self.hooks.observed(HookKind::LockAcquire) {
+            self.hooks.dispatch_event(
                 HookKind::LockAcquire,
                 &LockEventCtx {
                     lock_id: self.id,
@@ -178,8 +178,8 @@ impl RawLock for ShflMutex {
         {
             return;
         }
-        if self.hooks.is_active(HookKind::LockContended) {
-            self.hooks.fire_event(
+        if self.hooks.observed(HookKind::LockContended) {
+            self.hooks.dispatch_event(
                 HookKind::LockContended,
                 &LockEventCtx {
                     lock_id: self.id,
@@ -241,8 +241,8 @@ impl RawLock for ShflMutex {
             }
             drop(Box::from_raw(node));
         }
-        if self.hooks.is_active(HookKind::LockAcquired) {
-            self.hooks.fire_event(
+        if self.hooks.observed(HookKind::LockAcquired) {
+            self.hooks.dispatch_event(
                 HookKind::LockAcquired,
                 &LockEventCtx {
                     lock_id: self.id,
@@ -256,8 +256,8 @@ impl RawLock for ShflMutex {
     }
 
     fn release(&self) {
-        if self.hooks.is_active(HookKind::LockRelease) {
-            self.hooks.fire_event(
+        if self.hooks.observed(HookKind::LockRelease) {
+            self.hooks.dispatch_event(
                 HookKind::LockRelease,
                 &LockEventCtx {
                     lock_id: self.id,

@@ -123,6 +123,21 @@ impl SimShflLock {
     }
 
     async fn fire(&self, t: &TaskCtx, kind: HookKind) {
+        if telemetry::armed() {
+            // Virtual-time clock domain: the record carries `t.now()`, so a
+            // DES replay is bit-identical. Tracing charges no virtual time —
+            // figure CSVs stay byte-identical whether armed or not.
+            let ctx = self.event_ctx(t);
+            telemetry::emit(
+                kind.event_kind(),
+                ctx.now_ns,
+                ctx.cpu as u16,
+                ctx.lock_id,
+                ctx.tid,
+                u64::from(ctx.socket),
+                0,
+            );
+        }
         let policy = self.policy();
         if policy.wants_event(kind) {
             let cost = policy.on_event(kind, &self.event_ctx(t));
@@ -185,6 +200,17 @@ impl SimShflLock {
                     lock_id: self.id,
                     shuffler: node.view.get(),
                 });
+                if telemetry::armed() {
+                    telemetry::emit(
+                        telemetry::EventKind::SkipShuffle,
+                        t.now(),
+                        t.cpu().0 as u16,
+                        self.id,
+                        node.view.get().tid,
+                        0,
+                        u64::from(skip),
+                    );
+                }
                 if cost > 0 {
                     t.advance(cost).await;
                 }
@@ -351,6 +377,17 @@ impl SimShflLock {
                 shuffler: shuffler_view,
                 curr: cnode.view.get(),
             });
+            if telemetry::armed() {
+                telemetry::emit(
+                    telemetry::EventKind::CmpNode,
+                    t.now(),
+                    t.cpu().0 as u16,
+                    self.id,
+                    shuffler_view.tid,
+                    cnode.view.get().tid,
+                    u64::from(decision),
+                );
+            }
             if cost > 0 {
                 t.advance(cost).await;
             }

@@ -20,6 +20,14 @@ cargo clippy --workspace -- -D warnings
 echo "== bench_gate (C3_BENCH_GATE=${C3_BENCH_GATE:-1}) =="
 C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin bench_gate
 
+# Telemetry-overhead gate: the fig2c no-op worst case must stay >= 0.95
+# normalized with the trace plane compiled in — and since armed emission
+# charges zero virtual time, disarmed and armed runs must agree exactly
+# (the committed figure CSVs stay byte-identical either way). Shares the
+# C3_BENCH_GATE=0 skip knob.
+echo "== telemetry_gate (C3_BENCH_GATE=${C3_BENCH_GATE:-1}) =="
+C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin telemetry_gate
+
 echo "== scripts/smoke.sh =="
 ./scripts/smoke.sh
 

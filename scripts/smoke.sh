@@ -26,4 +26,18 @@ echo "== ablations incl. containment overhead (window=${C3_BENCH_WINDOW_MS}ms) =
 echo "== table1_api_hazards incl. watchdog auto-revert =="
 ./target/release/table1_api_hazards >/dev/null
 
+# Trace-plane smoke: arm via C3_TRACE, hammer a demo lock through c3ctl,
+# and require the tail to surface at least one trace event.
+echo "== c3ctl trace smoke (C3_TRACE=1) =="
+trace_script="$(mktemp)"
+trap 'rm -f "$trace_script"' EXIT
+printf 'hammer mmap_sem 4 200\ntrace tail 8\ntrace status\nquit\n' > "$trace_script"
+trace_out="$(C3_TRACE=1 ./target/release/c3ctl "$trace_script")"
+if ! grep -q 'lock_acquire\|lock_acquired\|lock_release' <<< "$trace_out"; then
+    echo "c3ctl trace smoke FAILED: no trace events in tail output:" >&2
+    echo "$trace_out" >&2
+    exit 1
+fi
+echo "c3ctl trace smoke ok"
+
 echo "smoke ok: csvs in $C3_RESULTS_DIR"

@@ -134,6 +134,41 @@ fn trace_in_decision_hook() {
 }
 
 #[test]
+fn trace_emit_zero_length_rejected() {
+    // An empty emit is meaningless; the verifier refuses it statically.
+    let msg = rejects(
+        HookKind::CmpNode,
+        "stb [r10-1], 65\n mov r1, r10\n add r1, -1\n mov r2, 0\n call trace_emit\n mov r0, 0\n exit",
+    );
+    assert!(msg.contains("trace_emit payload length"), "{msg}");
+}
+
+#[test]
+fn trace_emit_oversized_payload_rejected() {
+    // 17 bytes: one past the trace record's inline payload capacity.
+    let msg = rejects(
+        HookKind::CmpNode,
+        "stb [r10-1], 65\n mov r1, r10\n add r1, -1\n mov r2, 17\n call trace_emit\n mov r0, 0\n exit",
+    );
+    assert!(msg.contains("trace_emit payload length"), "{msg}");
+}
+
+#[test]
+fn trace_emit_at_capacity_accepted_in_decision_hook() {
+    // Unlike trace_printk (rejected above), trace_emit is decision-hook
+    // safe: bounded payload, fixed weight, lock-free ring. A full
+    // 16-byte payload is the accept boundary.
+    let c = Concord::new();
+    let asm = "mov r3, 0\n stxdw [r10-8], r3\n stxdw [r10-16], r3\n \
+               mov r1, r10\n add r1, -16\n mov r2, 16\n call trace_emit\n mov r0, 0\n exit";
+    assert!(
+        c.load(PolicySpec::from_asm("emit16", HookKind::CmpNode, asm))
+            .is_ok(),
+        "16-byte trace_emit must verify in a decision hook"
+    );
+}
+
+#[test]
 fn oversized_decision_policy() {
     // 200 no-ops blow the 128-instruction budget for decision hooks.
     let mut asm = String::new();
