@@ -11,7 +11,11 @@
 //!    price of the runtime safety net when nothing ever faults;
 //! 5. the trace plane, disarmed vs armed, on the same worst case — armed
 //!    emission happens on the host and charges zero virtual time, so the
-//!    two columns must agree exactly (the budget is ≥0.95 normalized).
+//!    two columns must agree exactly (the budget is ≥0.95 normalized);
+//! 6. a rollout-applied policy vs the same policy attached directly, on
+//!    the same worst case — the staged-rollout control plane (intent
+//!    log, health gates, generation tags) must stay entirely off the
+//!    lock hot path, so the two columns must agree exactly as well.
 //!
 //! Each ablation's configurations are independent simulations, fanned out
 //! across the sweep worker pool; rows print in configuration order.
@@ -236,6 +240,85 @@ fn sweep_telemetry(window: u64) {
     println!();
 }
 
+fn sweep_rollout(window: u64) {
+    use concord::policy::AttachedNoopPolicy;
+    use concord::rollout::{
+        AlwaysGreen, ChaosInjector, Rollout, RolloutLog, RolloutOutcome, RolloutPlan, SimTarget,
+    };
+    use locks::hooks::HookKind;
+    use simlocks::policy::SimPolicy;
+
+    let window_ms = window as f64 / 1e6;
+    println!("### Ablation 6: armed-rollout overhead on the Fig. 2(c) worst case");
+    println!("| threads | direct ops/ms | rollout ops/ms | rollout/direct |");
+    println!("|---|---|---|---|");
+    // Both columns run the exact Fig. 2(c) worst-case loop with the no-op
+    // policy attached; they differ only in how the policy got there —
+    // `set_policy` directly, or a committed staged rollout whose intent
+    // log stays live for the whole measurement.
+    let run = |threads: usize, via_rollout: bool| {
+        let sim = SimBuilder::new().seed(42).build();
+        let lock = Rc::new(SimShflLock::new(&sim));
+        if via_rollout {
+            let target = SimTarget::new(vec![("ht".to_string(), Rc::clone(&lock))], |_| {
+                Rc::new(AttachedNoopPolicy) as Rc<dyn SimPolicy>
+            });
+            let plan = RolloutPlan::staged(1, "noop", HookKind::CmpNode, &["ht".to_string()], &[]);
+            let log = RolloutLog::new();
+            let out = Rollout::run(plan, &log, &target, &mut AlwaysGreen, &ChaosInjector::inert())
+                .expect("rollout ran");
+            assert_eq!(out, RolloutOutcome::Committed, "rollout must commit");
+        } else {
+            lock.set_policy(Rc::new(AttachedNoopPolicy));
+        }
+        let table = Rc::new(RefCell::new(c3_bench::hashtable::HashTable::new(1024)));
+        for k in 0..4096u64 {
+            table.borrow_mut().insert(k, k);
+        }
+        let ops = Rc::new(Cell::new(0u64));
+        for cpu in sim.topology().compact_placement(threads) {
+            let (l, tb, o) = (Rc::clone(&lock), Rc::clone(&table), Rc::clone(&ops));
+            sim.spawn_on(cpu, move |t| async move {
+                while t.now() < window {
+                    let r = t.rng_u64();
+                    let key = r % 4096;
+                    l.acquire(&t).await;
+                    let cost = match r % 10 {
+                        0 => tb.borrow_mut().insert(key, r).0,
+                        1 => tb.borrow_mut().remove(key).0,
+                        _ => tb.borrow().lookup(key).0,
+                    };
+                    t.advance(cost).await;
+                    l.release(&t).await;
+                    o.set(o.get() + 1);
+                    t.advance(250).await;
+                }
+            });
+        }
+        sim.run();
+        ops.get() as f64 / window_ms
+    };
+    let threads = [1usize, 4, 8, 16, 28];
+    let points: Vec<(usize, bool)> = threads
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let vals = run_points(&points, |&(n, v)| run(n, v));
+    let mut worst = f64::INFINITY;
+    for (i, &n) in threads.iter().enumerate() {
+        let (direct, rolled) = (vals[2 * i], vals[2 * i + 1]);
+        let norm = rolled / direct;
+        worst = worst.min(norm);
+        println!("| {n} | {direct:.0} | {rolled:.0} | {norm:.3} |");
+    }
+    println!("\nworst-case rollout-applied throughput: {worst:.3} (budget: ≥0.95, expected: 1.000)");
+    assert!(
+        worst >= 0.95,
+        "rollout-applied policy exceeds the 5% hot-path budget: {worst:.3}"
+    );
+    println!();
+}
+
 fn main() {
     let window = run_window_ms() * 1_000_000;
     sweep_cross_socket(window);
@@ -243,4 +326,5 @@ fn main() {
     sweep_max_batch(window);
     sweep_containment(window);
     sweep_telemetry(window);
+    sweep_rollout(window);
 }

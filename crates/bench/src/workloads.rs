@@ -351,7 +351,7 @@ mod tests {
         let contained = run_hashtable(8, HtSeries::ConcordNoopContained, W, 3);
         let norm = contained / noop;
         assert!(
-            norm >= 0.95 && norm <= 1.02,
+            (0.95..=1.02).contains(&norm),
             "armed containment overhead out of budget: {norm:.3}"
         );
     }

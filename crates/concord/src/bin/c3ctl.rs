@@ -27,21 +27,74 @@
 //! trace [on|off|tail [n]|json]  arm/disarm/inspect the trace plane
 //! metrics                       dump the metrics registry (Prometheus text)
 //! top                           rank locks by trace-plane slow-path activity
+//! rollout start <policy> <lock>… staged delivery: canary → 50% → full
+//! rollout promote               apply + judge the next wave
+//! rollout status                where the rollout stands
+//! rollout abort [reason…]       roll every applied wave back
+//! rollout recover               converge after a crashed controller
 //! help | quit
 //! ```
+//!
+//! The `rollout` and `quarantines <lock>` families report **typed**
+//! errors and, in scripted mode, make the process exit nonzero on
+//! failure — they are the commands CI gates on. Legacy commands keep
+//! the historical always-exit-0 contract.
 //!
 //! Setting `C3_TRACE=1` in the environment arms the trace plane at
 //! startup, so every lock transition, hook span and policy-emitted event
 //! is captured from the first acquisition.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use concord::profiler::Profiler;
-use concord::{Concord, LoadedPolicy, PolicySpec};
+use concord::rollout::{
+    BreakerMap, ChaosInjector, HealthConfig, MetricsHealth, RealTarget, RecoverOutcome, Rollout,
+    RolloutLog, RolloutOutcome, RolloutPlan, WaveOutcome,
+};
+use concord::{BreakerConfig, Concord, LoadedPolicy, PolicySpec, RolloutError};
 use locks::hooks::HookKind;
 use locks::{Bravo, NeutralRwLock, RawLock, ShflLock, ShflMutex};
+
+/// Typed failures for the gating control surface (`rollout`,
+/// `quarantines <lock>`). Unlike the legacy free-text errors these flip
+/// the scripted-mode exit code, so CI can gate on them.
+#[derive(Debug)]
+enum CtlError {
+    Usage(&'static str),
+    UnknownLock(String),
+    UnknownPolicy(String),
+    Rollout(RolloutError),
+}
+
+impl fmt::Display for CtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlError::Usage(u) => write!(f, "usage: {u}"),
+            CtlError::UnknownLock(l) => write!(f, "unknown lock `{l}`"),
+            CtlError::UnknownPolicy(p) => {
+                write!(f, "no loaded policy `{p}` (use `load` first)")
+            }
+            CtlError::Rollout(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<RolloutError> for CtlError {
+    fn from(e: RolloutError) -> Self {
+        CtlError::Rollout(e)
+    }
+}
+
+/// One in-flight (or finished) rollout, kept across commands so
+/// `promote`/`status`/`abort`/`recover` act on the same intent log.
+struct CtlRollout {
+    log: RolloutLog,
+    policy: String,
+    breakers: BreakerMap,
+}
 
 struct Ctl {
     concord: Concord,
@@ -50,6 +103,11 @@ struct Ctl {
     loaded: HashMap<String, LoadedPolicy>,
     patches: Vec<concord::AttachHandle>,
     profiler: Option<Profiler>,
+    rollout: Option<CtlRollout>,
+    next_generation: u64,
+    /// A typed (`rollout`/`quarantines`) command failed; scripted mode
+    /// exits nonzero.
+    failed: bool,
 }
 
 fn hook_by_name(s: &str) -> Option<HookKind> {
@@ -82,6 +140,9 @@ impl Ctl {
             loaded: HashMap::new(),
             patches: Vec::new(),
             profiler: None,
+            rollout: None,
+            next_generation: 0,
+            failed: false,
         }
     }
 
@@ -95,7 +156,7 @@ impl Ctl {
         let result = match cmd {
             "quit" | "exit" => return false,
             "help" => {
-                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quarantines trace metrics top quit");
+                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quarantines rollout trace metrics top quit");
                 Ok(())
             }
             "locks" => {
@@ -146,25 +207,10 @@ impl Ctl {
                     Ok(())
                 }
             },
-            "quarantines" => {
-                let records = match parts.next() {
-                    Some(lock) => self.concord.registry().quarantines(lock),
-                    None => self.concord.registry().all_quarantines(),
-                };
-                if records.is_empty() {
-                    println!("  (no quarantined policies)");
-                }
-                for r in records {
-                    println!(
-                        "  {}/{} policy={} at={}ns: {}",
-                        r.lock,
-                        r.hook.name(),
-                        r.policy,
-                        r.at_ns,
-                        r.reason
-                    );
-                }
-                Ok(())
+            "quarantines" => self.typed(Self::cmd_quarantines, parts.next()),
+            "rollout" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.typed(Self::cmd_rollout, &rest)
             }
             "hammer" => self.cmd_hammer(parts.next(), parts.next(), parts.next()),
             "stats" => self.cmd_stats(parts.next()),
@@ -195,6 +241,163 @@ impl Ctl {
             println!("error: {e}");
         }
         true
+    }
+
+    /// Runs a typed-error command, recording failure for the scripted
+    /// exit code.
+    fn typed<A>(
+        &mut self,
+        f: impl FnOnce(&mut Self, A) -> Result<(), CtlError>,
+        arg: A,
+    ) -> Result<(), String> {
+        f(self, arg).map_err(|e| {
+            self.failed = true;
+            e.to_string()
+        })
+    }
+
+    fn cmd_quarantines(&mut self, lock: Option<&str>) -> Result<(), CtlError> {
+        let records = match lock {
+            Some(l) => {
+                if self.concord.registry().get(l).is_none() {
+                    return Err(CtlError::UnknownLock(l.to_string()));
+                }
+                self.concord.registry().quarantines(l)
+            }
+            None => self.concord.registry().all_quarantines(),
+        };
+        if records.is_empty() {
+            println!("  (no quarantined policies)");
+        }
+        for r in records {
+            println!(
+                "  {}/{} policy={} at={}ns: {}",
+                r.lock,
+                r.hook.name(),
+                r.policy,
+                r.at_ns,
+                r.reason
+            );
+        }
+        Ok(())
+    }
+
+    /// Builds the (log, target, health) triple for the session's
+    /// in-flight rollout.
+    fn rollout_world(&self) -> Result<(RolloutLog, RealTarget<'_>, MetricsHealth), CtlError> {
+        let ro = self.rollout.as_ref().ok_or_else(|| {
+            CtlError::Rollout(RolloutError::BadState(
+                "no rollout in this session (use `rollout start`)".into(),
+            ))
+        })?;
+        let loaded = self
+            .loaded
+            .get(&ro.policy)
+            .ok_or_else(|| CtlError::UnknownPolicy(ro.policy.clone()))?
+            .clone();
+        let target = RealTarget::new(&self.concord, loaded, BreakerConfig::default())
+            .with_breakers(Arc::clone(&ro.breakers));
+        let health = MetricsHealth::new(HealthConfig::default(), Arc::clone(&ro.breakers));
+        Ok((ro.log.clone(), target, health))
+    }
+
+    fn cmd_rollout(&mut self, rest: &[&str]) -> Result<(), CtlError> {
+        const USAGE: &str =
+            "rollout start <policy> <lock> [<lock>…] | promote | status | abort [reason…] | recover";
+        match rest.first().copied() {
+            Some("start") => {
+                let policy_name = rest.get(1).copied().ok_or(CtlError::Usage(USAGE))?;
+                let locks: Vec<String> = rest[2..].iter().map(|s| s.to_string()).collect();
+                if locks.is_empty() {
+                    return Err(CtlError::Usage(USAGE));
+                }
+                for l in &locks {
+                    if self.concord.registry().get(l).is_none() {
+                        return Err(CtlError::UnknownLock(l.clone()));
+                    }
+                }
+                let loaded = self
+                    .loaded
+                    .get(policy_name)
+                    .ok_or_else(|| CtlError::UnknownPolicy(policy_name.to_string()))?
+                    .clone();
+                self.next_generation += 1;
+                let generation = self.next_generation;
+                let plan =
+                    RolloutPlan::staged(generation, policy_name, loaded.hook, &locks, &[50]);
+                let sizes: Vec<usize> = plan.waves.iter().map(Vec::len).collect();
+                println!(
+                    "  rollout gen={generation} policy={policy_name} hook={} wave sizes {sizes:?}",
+                    loaded.hook.name()
+                );
+                let log = RolloutLog::new();
+                let outcome = {
+                    let target = RealTarget::new(&self.concord, loaded, BreakerConfig::default());
+                    let breakers = target.breakers();
+                    let mut health =
+                        MetricsHealth::new(HealthConfig::default(), target.breakers());
+                    let outcome =
+                        Rollout::start(plan, &log, &target, &mut health, &ChaosInjector::inert());
+                    self.rollout = Some(CtlRollout {
+                        log: log.clone(),
+                        policy: policy_name.to_string(),
+                        breakers,
+                    });
+                    outcome?
+                };
+                print_wave_outcome(&outcome);
+                Ok(())
+            }
+            Some("promote") => {
+                let (log, target, mut health) = self.rollout_world()?;
+                let outcome =
+                    Rollout::promote(&log, &target, &mut health, &ChaosInjector::inert())?;
+                print_wave_outcome(&outcome);
+                Ok(())
+            }
+            Some("status") => {
+                match &self.rollout {
+                    Some(ro) => println!("  {}", Rollout::status(&ro.log)),
+                    None => println!("  no rollout in this session"),
+                }
+                Ok(())
+            }
+            Some("abort") => {
+                let reason = if rest.len() > 1 {
+                    rest[1..].join(" ")
+                } else {
+                    "operator abort".to_string()
+                };
+                let (log, target, _health) = self.rollout_world()?;
+                let outcome = Rollout::abort(&reason, &log, &target, &ChaosInjector::inert())?;
+                match outcome {
+                    RolloutOutcome::Aborted(r) => println!("  rollout aborted: {r}"),
+                    RolloutOutcome::Committed => println!("  rollout committed"),
+                }
+                Ok(())
+            }
+            Some("recover") => {
+                let (log, target, _health) = self.rollout_world()?;
+                let outcome = Rollout::recover(&log, &target, &ChaosInjector::inert())?;
+                match outcome {
+                    RecoverOutcome::NoRollout => println!("  nothing to recover"),
+                    RecoverOutcome::AlreadyTerminal(RolloutOutcome::Committed) => {
+                        println!("  rollout already committed")
+                    }
+                    RecoverOutcome::AlreadyTerminal(RolloutOutcome::Aborted(r)) => {
+                        println!("  rollout already aborted: {r}")
+                    }
+                    RecoverOutcome::RolledForward => {
+                        println!("  recovered: rolled forward to committed")
+                    }
+                    RecoverOutcome::RolledBack => {
+                        println!("  recovered: rolled back to pre-rollout state")
+                    }
+                }
+                Ok(())
+            }
+            _ => Err(CtlError::Usage(USAGE)),
+        }
     }
 
     fn cmd_load(
@@ -433,6 +636,17 @@ impl Ctl {
     }
 }
 
+/// Renders a stepwise rollout outcome.
+fn print_wave_outcome(out: &WaveOutcome) {
+    match out {
+        WaveOutcome::WaveHealthy { wave, remaining } => println!(
+            "  wave {wave} healthy ({remaining} remaining; `rollout promote` to continue)"
+        ),
+        WaveOutcome::Committed => println!("  rollout committed"),
+        WaveOutcome::Aborted(reason) => println!("  rollout aborted: {reason}"),
+    }
+}
+
 fn main() {
     telemetry::arm_from_env();
     let mut ctl = Ctl::new();
@@ -445,10 +659,12 @@ fn main() {
         for line in content.lines() {
             println!("c3> {line}");
             if !ctl.run_line(line) {
-                return;
+                break;
             }
         }
-        return;
+        // Legacy commands keep the always-exit-0 contract; only the
+        // typed (rollout/quarantine) surface gates the exit code.
+        std::process::exit(i32::from(ctl.failed));
     }
     println!("c3ctl — Concord control plane (type `help`)");
     let stdin = std::io::stdin();

@@ -56,6 +56,7 @@ pub mod policies;
 pub mod policy;
 pub mod profiler;
 pub mod registry;
+pub mod rollout;
 pub mod tenant;
 pub mod watchdog;
 mod workflow;
@@ -66,6 +67,11 @@ pub use containment::{
 };
 pub use policy::{BytecodePolicy, SimBytecodePolicy, HOOK_CALL_NS, NS_PER_INSN, TRAMPOLINE_NS};
 pub use registry::{LockClass, LockHandle, LockRegistry};
+pub use rollout::{
+    ChaosInjector, ChaosPlan, HealthEvaluator, HealthVerdict, MetricsHealth, RealTarget,
+    RecoverOutcome, Rollout, RolloutError, RolloutLog, RolloutOutcome, RolloutPlan, RolloutTarget,
+    SimTarget, WaveOutcome,
+};
 pub use tenant::{TenantError, TenantId, TenantManager};
 pub use watchdog::{EnforceOutcome, HazardReport, LockWatchdog, WatchdogConfig, WindowStats};
 pub use workflow::{AttachHandle, Concord, ConcordError, LoadedPolicy, PolicySource, PolicySpec};

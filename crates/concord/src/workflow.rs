@@ -17,7 +17,7 @@ use cbpf::program::Program;
 use cbpf::store::{ObjectStore, VerifiedProgram};
 use ksim::Sim;
 use livepatch::{Patch, PatchError, PatchHandle, PatchManager, ShadowStore};
-use locks::hooks::{CmpNodeFn, HookKind, LockEventFn, ScheduleWaiterFn, ShflHooks, SkipShuffleFn};
+use locks::hooks::{CmpNodeFn, HookKind, LockEventFn, ScheduleWaiterFn, ShflHooks};
 use parking_lot::Mutex;
 use simlocks::policy::SimPolicy;
 use simlocks::SimShflLock;
@@ -353,19 +353,133 @@ impl Concord {
         hook: HookKind,
         bytecode: &Arc<BytecodePolicy>,
     ) -> Result<AttachHandle, ConcordError> {
+        let patch = self.build_bytecode_patch(lock, hook, bytecode, None)?;
+        Ok(self.finish_attach(lock, hook, patch))
+    }
+
+    /// Builds (without applying) the livepatch that installs `bytecode`
+    /// on `lock`'s `hook`. `name_prefix` lets a rollout tag the patch
+    /// with its generation so crash recovery can probe it by name.
+    ///
+    /// This is the fallible half of an attach; [`Concord::attach_many`]
+    /// and the rollout controller feed a sequence of these into
+    /// [`PatchManager::apply_transaction`] so a mid-sequence error
+    /// unwinds every lock already patched.
+    pub(crate) fn build_bytecode_patch(
+        &self,
+        lock: &str,
+        hook: HookKind,
+        bytecode: &Arc<BytecodePolicy>,
+        name_prefix: Option<&str>,
+    ) -> Result<Patch, ConcordError> {
         let hooks = self.hooks_of(lock)?;
+        let name = match name_prefix {
+            Some(p) => format!("{p}{lock}/{}", hook.name()),
+            None => format!("{lock}/{}", hook.name()),
+        };
+        let mut patch = Patch::new(name);
         match hook {
             HookKind::CmpNode => {
-                self.attach_cmp_node_fn(lock, hook, bytecode.as_cmp_node()?, hooks)
+                let point = Arc::clone(&hooks.cmp_node);
+                let old = point.get().clone();
+                patch.swap(&point, Some(bytecode.as_cmp_node()?), old);
             }
             HookKind::SkipShuffle => {
-                self.attach_skip_shuffle_fn(lock, hook, bytecode.as_skip_shuffle()?, hooks)
+                let point = Arc::clone(&hooks.skip_shuffle);
+                let old = point.get().clone();
+                patch.swap(&point, Some(bytecode.as_skip_shuffle()?), old);
             }
             HookKind::ScheduleWaiter => {
-                self.attach_schedule_fn(lock, hook, bytecode.as_schedule_waiter()?, hooks)
+                let point = Arc::clone(&hooks.schedule_waiter);
+                let old = point.get().clone();
+                patch.swap(&point, Some(bytecode.as_schedule_waiter()?), old);
             }
-            kind => self.attach_event_fn(lock, kind, bytecode.as_event()?, hooks),
+            kind => {
+                let point = match kind {
+                    HookKind::LockAcquire => &hooks.lock_acquire,
+                    HookKind::LockContended => &hooks.lock_contended,
+                    HookKind::LockAcquired => &hooks.lock_acquired,
+                    HookKind::LockRelease => &hooks.lock_release,
+                    _ => {
+                        return Err(ConcordError::NotHookable(format!(
+                            "{} is not an event hook",
+                            kind.name()
+                        )))
+                    }
+                };
+                let f = bytecode.as_event()?;
+                let point = Arc::clone(point);
+                let old = point.get().clone();
+                let installed: LockEventFn = match &old {
+                    Some(prev) => {
+                        let prev = Arc::clone(prev);
+                        Arc::new(move |ctx| {
+                            prev(ctx);
+                            f(ctx);
+                        })
+                    }
+                    None => f,
+                };
+                patch.swap(&point, Some(installed), old);
+            }
         }
+        self.add_active_flag_ops(&mut patch, hooks, hook);
+        Ok(patch)
+    }
+
+    /// Attaches `policy` to every lock in `locks` as one all-or-nothing
+    /// livepatch transaction: if any lock is unknown, un-hookable, or
+    /// hook-mismatched, the locks already patched by this call are
+    /// unwound and nothing changes.
+    ///
+    /// # Errors
+    ///
+    /// The first per-lock error, after unwinding.
+    pub fn attach_many(
+        &self,
+        locks: &[&str],
+        policy: &LoadedPolicy,
+    ) -> Result<Vec<AttachHandle>, ConcordError> {
+        let bytecode = BytecodePolicy::new(policy.prog.clone(), policy.hook, Arc::clone(&self.env));
+        let handles = self.patches.apply_transaction(
+            locks
+                .iter()
+                .map(|lock| self.build_bytecode_patch(lock, policy.hook, &bytecode, None)),
+        )?;
+        Ok(handles
+            .into_iter()
+            .zip(locks)
+            .map(|(patch, lock)| AttachHandle {
+                patch,
+                lock: lock.to_string(),
+                hook: policy.hook,
+            })
+            .collect())
+    }
+
+    /// [`Concord::attach_many`] over every registered lock in `class`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Concord::attach_many`]; also [`ConcordError::UnknownLock`]
+    /// when the class is empty.
+    pub fn attach_class(
+        &self,
+        class: &str,
+        policy: &LoadedPolicy,
+    ) -> Result<Vec<AttachHandle>, ConcordError> {
+        let names = self.registry.names_in_class(class);
+        if names.is_empty() {
+            return Err(ConcordError::UnknownLock(format!("class {class}")));
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.attach_many(&refs, policy)
+    }
+
+    /// The underlying patch manager (rollout controller / recovery use
+    /// this to run transactions and probe live patch names).
+    pub(crate) fn patch_manager(&self) -> &PatchManager {
+        &self.patches
     }
 
     /// Attaches a native `cmp_node` closure (profiler and tests use this).
@@ -419,21 +533,6 @@ impl Concord {
         hooks: Arc<ShflHooks>,
     ) -> Result<AttachHandle, ConcordError> {
         let point = Arc::clone(&hooks.cmp_node);
-        let old = point.get().clone();
-        let mut patch = Patch::new(format!("{lock}/{}", kind.name()));
-        patch.swap(&point, Some(f), old);
-        self.add_active_flag_ops(&mut patch, hooks, kind);
-        Ok(self.finish_attach(lock, kind, patch))
-    }
-
-    fn attach_skip_shuffle_fn(
-        &self,
-        lock: &str,
-        kind: HookKind,
-        f: SkipShuffleFn,
-        hooks: Arc<ShflHooks>,
-    ) -> Result<AttachHandle, ConcordError> {
-        let point = Arc::clone(&hooks.skip_shuffle);
         let old = point.get().clone();
         let mut patch = Patch::new(format!("{lock}/{}", kind.name()));
         patch.swap(&point, Some(f), old);

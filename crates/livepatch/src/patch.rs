@@ -185,6 +185,97 @@ impl PatchManager {
         PatchHandle(id)
     }
 
+    /// Applies a whole sequence of patches as one all-or-nothing
+    /// transaction.
+    ///
+    /// Each item in `patches` is a fallible patch construction; the
+    /// transaction applies each `Ok` patch in order while holding the
+    /// stack lock, so no other apply/revert can interleave. On the first
+    /// `Err` item every patch already applied by this transaction is
+    /// unwound in reverse order (each patch's sites in reverse apply
+    /// order) and the error is returned — the manager is left exactly as
+    /// it was before the call. On success all patches are pushed on the
+    /// stack (bottom = first item) and their handles returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first `Err` produced by the iterator, after unwinding.
+    pub fn apply_transaction<E>(
+        &self,
+        patches: impl IntoIterator<Item = Result<Patch, E>>,
+    ) -> Result<Vec<PatchHandle>, E> {
+        let mut stack = self.stack.lock();
+        let mut applied: Vec<Patch> = Vec::new();
+        for item in patches {
+            match item {
+                Ok(patch) => {
+                    for op in &patch.ops {
+                        (op.apply)();
+                    }
+                    applied.push(patch);
+                }
+                Err(e) => {
+                    // Unwind everything this transaction applied, newest
+                    // first, each patch's sites in reverse apply order.
+                    for patch in applied.iter().rev() {
+                        for op in patch.ops.iter().rev() {
+                            (op.revert)();
+                        }
+                    }
+                    telemetry::metrics()
+                        .counter("c3_patch_txn_unwound_total")
+                        .inc();
+                    return Err(e);
+                }
+            }
+        }
+        let mut handles = Vec::with_capacity(applied.len());
+        for patch in applied {
+            let id = {
+                let mut next = self.next_id.lock();
+                *next += 1;
+                *next
+            };
+            trace_patch(
+                telemetry::EventKind::PatchApply,
+                &patch.name,
+                patch.ops.len() as u64,
+                id,
+            );
+            stack.push(Applied {
+                id,
+                name: patch.name,
+                ops: patch.ops,
+            });
+            handles.push(PatchHandle(id));
+        }
+        Ok(handles)
+    }
+
+    /// Handle of the topmost live patch with this exact name, if any.
+    /// Patch names are not forced unique; the topmost match is the one a
+    /// LIFO revert would reach first.
+    pub fn find(&self, name: &str) -> Option<PatchHandle> {
+        self.stack
+            .lock()
+            .iter()
+            .rev()
+            .find(|p| p.name == name)
+            .map(|p| PatchHandle(p.id))
+    }
+
+    /// Names of live patches whose name starts with `prefix`, bottom to
+    /// top. Used by rollout recovery to probe which generation-tagged
+    /// wave patches survived a crash.
+    pub fn live_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.stack
+            .lock()
+            .iter()
+            .filter(|p| p.name.starts_with(prefix))
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
     /// Reverts the patch named by `handle`.
     ///
     /// # Errors
@@ -411,6 +502,94 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 1);
         mgr.revert(h).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 101);
+    }
+
+    #[test]
+    fn apply_transaction_all_ok_stacks_in_order() {
+        let a = Arc::new(PatchPoint::new(0u32));
+        let b = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        let mut p1 = Patch::new("t1");
+        p1.swap(&a, 1, 0);
+        let mut p2 = Patch::new("t2");
+        p2.swap(&b, 2, 0);
+        let handles = mgr
+            .apply_transaction::<()>(vec![Ok(p1), Ok(p2)])
+            .unwrap();
+        assert_eq!(handles.len(), 2);
+        assert_eq!(*a.get(), 1);
+        assert_eq!(*b.get(), 2);
+        assert_eq!(mgr.live(), vec!["t1", "t2"]);
+        // LIFO discipline holds across the transaction boundary.
+        assert_eq!(mgr.revert(handles[0]), Err(PatchError::NotOnTop));
+        mgr.revert(handles[1]).unwrap();
+        mgr.revert(handles[0]).unwrap();
+        assert_eq!(*a.get(), 0);
+        assert_eq!(*b.get(), 0);
+    }
+
+    #[test]
+    fn apply_transaction_unwinds_on_error() {
+        let a = Arc::new(PatchPoint::new(0u32));
+        let b = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        // A pre-existing patch must be untouched by the failed txn.
+        let mut pre = Patch::new("pre");
+        pre.swap(&a, 7, 0);
+        let pre_h = mgr.apply(pre);
+
+        let mut p1 = Patch::new("t1");
+        p1.swap(&a, 1, 7);
+        let mut p2 = Patch::new("t2");
+        p2.swap(&b, 2, 0);
+        let err = mgr
+            .apply_transaction(vec![Ok(p1), Ok(p2), Err("boom")])
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(*a.get(), 7, "t1 unwound back to pre-txn value");
+        assert_eq!(*b.get(), 0, "t2 unwound");
+        assert_eq!(mgr.live(), vec!["pre"], "stack unchanged by failed txn");
+        mgr.revert(pre_h).unwrap();
+        assert_eq!(*a.get(), 0);
+    }
+
+    #[test]
+    fn apply_transaction_error_first_is_noop() {
+        let mgr = PatchManager::new();
+        let err = mgr
+            .apply_transaction::<&str>(vec![Err("early")])
+            .unwrap_err();
+        assert_eq!(err, "early");
+        assert!(mgr.live().is_empty());
+    }
+
+    #[test]
+    fn apply_transaction_empty_is_fine() {
+        let mgr = PatchManager::new();
+        let handles = mgr.apply_transaction::<()>(Vec::new()).unwrap();
+        assert!(handles.is_empty());
+    }
+
+    #[test]
+    fn find_and_prefix_scan() {
+        let x = Arc::new(PatchPoint::new(0u32));
+        let mgr = PatchManager::new();
+        assert_eq!(mgr.find("rollout-g1:a"), None);
+        let mut p1 = Patch::new("rollout-g1:a");
+        p1.swap(&x, 1, 0);
+        let mut p2 = Patch::new("rollout-g1:b");
+        p2.swap(&x, 2, 1);
+        let mut p3 = Patch::new("other");
+        p3.swap(&x, 3, 2);
+        let h1 = mgr.apply(p1);
+        let _h2 = mgr.apply(p2);
+        let _h3 = mgr.apply(p3);
+        assert_eq!(mgr.find("rollout-g1:a"), Some(h1));
+        assert_eq!(
+            mgr.live_with_prefix("rollout-g1:"),
+            vec!["rollout-g1:a", "rollout-g1:b"]
+        );
+        assert!(mgr.live_with_prefix("rollout-g2:").is_empty());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Patch transactions racing concurrent hook dispatch.
+//!
+//! A rollout wave applies (and on abort, reverts) many slots in one
+//! transaction while reader threads — standing in for lock hot paths
+//! dispatching through the patch points — hammer the same slots. The
+//! contract under test:
+//!
+//! * **No torn reads.** Every value a reader observes is one that some
+//!   patch (or the baseline) installed whole, never a mix of two.
+//! * **Strictly monotonic generations.** A patch point's generation
+//!   counter only moves forward, across applies, unwinds and reverts.
+//! * **Transaction atomicity under load.** A failed transaction leaves
+//!   every slot on its pre-transaction value even while readers race the
+//!   unwind.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use livepatch::{Patch, PatchManager, PatchPoint};
+
+const POINTS: usize = 4;
+const READERS: usize = 3;
+const ROUNDS: u64 = 400;
+
+/// Values are sealed pairs: a torn read (halves from two installs)
+/// breaks the relation.
+fn seal(x: u64) -> (u64, u64) {
+    (x, x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEAD_BEEF)
+}
+
+fn sealed_ok(v: (u64, u64)) -> bool {
+    v == seal(v.0)
+}
+
+#[test]
+fn transactions_race_dispatch_untorn_and_monotonic() {
+    let points: Vec<Arc<PatchPoint<(u64, u64)>>> = (0..POINTS)
+        .map(|_| Arc::new(PatchPoint::new(seal(0))))
+        .collect();
+    let mgr = Arc::new(PatchManager::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let points = points.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_gen = vec![0u64; points.len()];
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    for (i, p) in points.iter().enumerate() {
+                        let g0 = p.generation();
+                        let v = *p.get();
+                        assert!(sealed_ok(v), "torn slot read: {v:?}");
+                        let g1 = p.generation();
+                        assert!(g1 >= g0, "generation went backwards: {g0} -> {g1}");
+                        assert!(
+                            g0 >= last_gen[i],
+                            "generation went backwards across reads: {} -> {g0}",
+                            last_gen[i]
+                        );
+                        last_gen[i] = g1;
+                        observations += 1;
+                    }
+                }
+                observations
+            })
+        })
+        .collect();
+
+    for round in 1..=ROUNDS {
+        // Apply one transaction over every point. Every third round the
+        // transaction fails after staging half the slots, exercising the
+        // unwind while readers are mid-dispatch.
+        let fail_this_round = round % 3 == 0;
+        let txn = mgr.apply_transaction((0..POINTS).map(|i| {
+            if fail_this_round && i == POINTS / 2 {
+                Err(format!("scripted failure in round {round}"))
+            } else {
+                let mut p = Patch::new(format!("txn-r{round}:p{i}"));
+                p.swap(&points[i], seal(round), seal(0));
+                Ok(p)
+            }
+        }));
+        match txn {
+            Ok(handles) => {
+                assert!(!fail_this_round);
+                assert_eq!(handles.len(), POINTS);
+                for (i, p) in points.iter().enumerate() {
+                    assert_eq!(*p.get(), seal(round), "slot {i} after commit");
+                }
+                // Pull the round back out top-down, racing the readers
+                // again. (Top-down keeps each pull's re-apply set empty,
+                // so the generation schedule below stays exact.)
+                for h in handles.iter().rev() {
+                    let reapplied = mgr.revert_transaction(*h).unwrap();
+                    assert!(reapplied.is_empty(), "top-down pull re-applied {reapplied:?}");
+                }
+            }
+            Err(msg) => {
+                assert!(fail_this_round, "unexpected txn failure: {msg}");
+                for (i, p) in points.iter().enumerate() {
+                    assert_eq!(*p.get(), seal(0), "slot {i} after unwind");
+                }
+            }
+        }
+        assert!(mgr.live().is_empty(), "round {round} leaked patches");
+    }
+
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        let seen = r.join().expect("reader panicked");
+        assert!(seen > 0, "reader never observed a dispatch");
+    }
+
+    // Every applied round bumps each point twice (apply + revert); the
+    // failed rounds bump the staged half twice as well (stage + unwind).
+    // Exact counts are timing-free: derive them and check the final
+    // generation is exactly what the schedule implies — any double
+    // application or missed unwind would show up here.
+    let applied_rounds = ROUNDS - ROUNDS / 3;
+    let failed_rounds = ROUNDS / 3;
+    for (i, p) in points.iter().enumerate() {
+        let staged_in_failures = if i < POINTS / 2 { failed_rounds } else { 0 };
+        let expect = 2 * applied_rounds + 2 * staged_in_failures;
+        assert_eq!(
+            p.generation(),
+            expect,
+            "point {i}: generation drifted from the apply/revert schedule"
+        );
+    }
+}
+
+#[test]
+fn revert_transaction_mid_stack_pull_races_readers() {
+    // Three patches stacked on one point, a reader racing. Pulling the
+    // middle one must revert only it and re-apply the survivor above —
+    // with the reader never observing a torn value mid-pull.
+    let point = Arc::new(PatchPoint::new(seal(0)));
+    let mgr = Arc::new(PatchManager::new());
+    let mut handles = Vec::new();
+    for round in 1..=3u64 {
+        let mut p = Patch::new(format!("stack-{round}"));
+        p.swap(&point, seal(round), seal(round - 1));
+        handles.push(mgr.apply(p));
+    }
+    assert_eq!(*point.get(), seal(3));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let point = Arc::clone(&point);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last_gen = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let g = point.generation();
+                assert!(sealed_ok(*point.get()));
+                assert!(g >= last_gen);
+                last_gen = g;
+            }
+        })
+    };
+
+    // Pull the middle patch: stack-3 comes off and goes back on.
+    let names = mgr.revert_transaction(handles[1]).unwrap();
+    assert_eq!(names, vec!["stack-3"]);
+    assert_eq!(*point.get(), seal(3), "survivor re-applied on top");
+    assert_eq!(mgr.live(), vec!["stack-1", "stack-3"]);
+
+    // Pulling the (now-)top patch restores the value it captured at
+    // construction — the documented restore-chain behavior.
+    let names = mgr.revert_transaction(handles[2]).unwrap();
+    assert!(names.is_empty());
+    assert_eq!(*point.get(), seal(2));
+
+    mgr.revert(handles[0]).unwrap();
+    assert_eq!(*point.get(), seal(0));
+    assert!(mgr.live().is_empty());
+
+    stop.store(true, Ordering::Release);
+    reader.join().unwrap();
+}

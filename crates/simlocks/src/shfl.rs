@@ -41,6 +41,7 @@ pub struct SimShflLock {
     tail: SimWord,
     arena: NodeArena,
     policy: RefCell<Rc<dyn SimPolicy>>,
+    policy_gen: Cell<u64>,
     id: u64,
     shuffles: Cell<u64>,
     moves: Cell<u64>,
@@ -64,6 +65,7 @@ impl SimShflLock {
             tail: SimWord::new(sim, 0),
             arena: NodeArena::new(sim),
             policy: RefCell::new(Rc::new(FifoPolicy::new())),
+            policy_gen: Cell::new(0),
             id: sim.alloc_id(),
             shuffles: Cell::new(0),
             moves: Cell::new(0),
@@ -83,11 +85,20 @@ impl SimShflLock {
     /// Installs a policy (Concord's simulated livepatch step).
     pub fn set_policy(&self, p: Rc<dyn SimPolicy>) {
         *self.policy.borrow_mut() = p;
+        self.policy_gen.set(self.policy_gen.get() + 1);
     }
 
     /// The current policy.
     pub fn policy(&self) -> Rc<dyn SimPolicy> {
         Rc::clone(&self.policy.borrow())
+    }
+
+    /// Monotonic count of policy swaps — the sim analog of a patchpoint
+    /// generation. Rollout tests use it to prove an aborted rollout put
+    /// the lock through apply+revert (gen +2) rather than leaving the
+    /// wave's policy live.
+    pub fn policy_generation(&self) -> u64 {
+        self.policy_gen.get()
     }
 
     /// Completed shuffle phases (statistics).

@@ -65,6 +65,13 @@ pub enum EventKind {
     /// User bytecode called the `trace_emit` helper. `a`=lock id (0 if
     /// unknown), `b`=pid; the helper's bytes are the payload.
     PolicyEmit = 14,
+    /// A rollout intent-log record was appended. `a`=rollout generation,
+    /// `b`=wave index (or `u64::MAX` for plan-level records), `c`=intent
+    /// discriminant, `d`=records in the log after the append.
+    RolloutStep = 15,
+    /// A rollout wave health verdict. `a`=rollout generation, `b`=wave
+    /// index, `d`=1 when red (abort) — reason prefix in the payload.
+    RolloutHealth = 16,
 }
 
 impl EventKind {
@@ -86,6 +93,8 @@ impl EventKind {
             12 => WatchdogVerdict,
             13 => Quarantine,
             14 => PolicyEmit,
+            15 => RolloutStep,
+            16 => RolloutHealth,
             _ => return None,
         })
     }
@@ -108,6 +117,8 @@ impl EventKind {
             WatchdogVerdict => "watchdog_verdict",
             Quarantine => "quarantine",
             PolicyEmit => "policy_emit",
+            RolloutStep => "rollout_step",
+            RolloutHealth => "rollout_health",
         }
     }
 }
@@ -291,6 +302,8 @@ mod tests {
             (EventKind::LockAcquire, 1u16),
             (EventKind::HookSpan, 8),
             (EventKind::PolicyEmit, 14),
+            (EventKind::RolloutStep, 15),
+            (EventKind::RolloutHealth, 16),
         ] {
             assert_eq!(k as u16, v);
             assert_eq!(EventKind::from_u16(v), Some(k));

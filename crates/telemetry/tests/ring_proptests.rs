@@ -139,7 +139,7 @@ proptest! {
     /// JSON exporter all agree with the original record.
     #[test]
     fn event_roundtrips_to_bytes_and_chrome_json(
-        kind_ix in 1u16..=14,
+        kind_ix in 1u16..=16,
         seq in any::<u64>(),
         ts in 0u64..=(u64::MAX / 2),
         cpu in any::<u16>(),

@@ -28,6 +28,14 @@ C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin bench_
 echo "== telemetry_gate (C3_BENCH_GATE=${C3_BENCH_GATE:-1}) =="
 C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin telemetry_gate
 
+# Rollout chaos gate: crash-sweeps a staged rollout over fixed seeds
+# (override with C3_CHAOS_SEEDS=a,b,c), asserting every crash point
+# converges and that replays are deterministic. Skip with
+# C3_CHAOS_GATE=0.
+echo "== chaos_gate (C3_CHAOS_GATE=${C3_CHAOS_GATE:-1}) =="
+C3_CHAOS_GATE="${C3_CHAOS_GATE:-1}" C3_CHAOS_SEEDS="${C3_CHAOS_SEEDS:-}" \
+    cargo run -p c3-bench --release --bin chaos_gate
+
 echo "== scripts/smoke.sh =="
 ./scripts/smoke.sh
 

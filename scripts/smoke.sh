@@ -40,4 +40,31 @@ if ! grep -q 'lock_acquire\|lock_acquired\|lock_release' <<< "$trace_out"; then
 fi
 echo "c3ctl trace smoke ok"
 
+# Rollout smoke: drive a staged rollout (canary → 50% → full) over the
+# demo locks through c3ctl and require it to commit; then require a
+# typed rollout error (unknown policy) to exit nonzero.
+echo "== c3ctl rollout smoke =="
+rollout_script="$(mktemp)"
+rollout_fail_script="$(mktemp)"
+trap 'rm -f "$trace_script" "$rollout_script" "$rollout_fail_script"' EXIT
+printf '%s\n' \
+    'loadsrc noop cmp_node return 1;' \
+    'rollout start noop mmap_sem dcache inode_a inode_b' \
+    'rollout promote' \
+    'rollout promote' \
+    'rollout status' \
+    'quit' > "$rollout_script"
+rollout_out="$(./target/release/c3ctl "$rollout_script")"
+if ! grep -q 'rollout committed' <<< "$rollout_out"; then
+    echo "c3ctl rollout smoke FAILED: staged rollout did not commit:" >&2
+    echo "$rollout_out" >&2
+    exit 1
+fi
+printf 'rollout start no_such_policy mmap_sem\nquit\n' > "$rollout_fail_script"
+if ./target/release/c3ctl "$rollout_fail_script" >/dev/null 2>&1; then
+    echo "c3ctl rollout smoke FAILED: unknown-policy rollout exited zero" >&2
+    exit 1
+fi
+echo "c3ctl rollout smoke ok"
+
 echo "smoke ok: csvs in $C3_RESULTS_DIR"

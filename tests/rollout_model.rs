@@ -1,0 +1,317 @@
+//! Property-based model check of the rollout state machine.
+//!
+//! Random wave splits, health verdicts, scripted apply failures and
+//! crash points run against the real controller with a pure in-memory
+//! target; a reference model — a straight fold over the plan — predicts
+//! the outcome, and a structural checker validates every intent log the
+//! controller can produce (DESIGN.md §4.7 schema):
+//!
+//! * a no-crash run's outcome equals the model's prediction;
+//! * any crashed run, after recovery (itself possibly crashed once and
+//!   re-run), converges all-applied or all-reverted — all-applied iff
+//!   `CommitIntent` is durable, which in turn implies the model predicted
+//!   a commit;
+//! * the log is well-formed: `PlanStart` first, intents precede their
+//!   effects, healthy waves are contiguous from zero, exactly one
+//!   terminal record, and it is last;
+//! * recovery on a terminal log is a no-op.
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use concord::rollout::{
+    ChaosInjector, ChaosPlan, HealthVerdict, Intent, RecoverOutcome, Rollout, RolloutError,
+    RolloutLog, RolloutOutcome, RolloutPlan, RolloutTarget, ScriptedHealth,
+};
+use locks::hooks::HookKind;
+
+/// Pure in-memory world standing in for the patch plane.
+struct ModelTarget {
+    applied: RefCell<BTreeMap<String, u64>>,
+    fail_apply: BTreeSet<String>,
+}
+
+impl ModelTarget {
+    fn new(fail_apply: BTreeSet<String>) -> Self {
+        ModelTarget {
+            applied: RefCell::new(BTreeMap::new()),
+            fail_apply,
+        }
+    }
+
+    fn applied_total(&self) -> usize {
+        self.applied.borrow().len()
+    }
+}
+
+impl RolloutTarget for ModelTarget {
+    fn apply_locks(&self, generation: u64, locks: &[String]) -> Result<(), String> {
+        for l in locks {
+            if self.fail_apply.contains(l) {
+                return Err(format!("model apply failure on {l}"));
+            }
+        }
+        let mut applied = self.applied.borrow_mut();
+        for l in locks {
+            applied.insert(l.clone(), generation);
+        }
+        Ok(())
+    }
+
+    fn applied_locks(&self, generation: u64, locks: &[String]) -> Vec<String> {
+        let applied = self.applied.borrow();
+        locks
+            .iter()
+            .filter(|l| applied.get(*l) == Some(&generation))
+            .cloned()
+            .collect()
+    }
+
+    fn revert_locks(&self, generation: u64, locks: &[String]) -> Result<(), String> {
+        let mut applied = self.applied.borrow_mut();
+        for l in locks {
+            if applied.get(l) == Some(&generation) {
+                applied.remove(l);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the reference model predicts for an uncrashed run.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Prediction {
+    Committed,
+    AbortedByApply(usize),
+    AbortedByHealth(usize),
+}
+
+/// The model: fold the plan wave by wave; an apply failure fires before
+/// that wave's verdict, a red verdict fires after a successful apply.
+fn reference_model(
+    plan: &RolloutPlan,
+    fail_lock: Option<&String>,
+    red_wave: Option<usize>,
+) -> Prediction {
+    for (w, wave) in plan.waves.iter().enumerate() {
+        if let Some(fail) = fail_lock {
+            if wave.contains(fail) {
+                return Prediction::AbortedByApply(w);
+            }
+        }
+        if red_wave == Some(w) {
+            return Prediction::AbortedByHealth(w);
+        }
+    }
+    Prediction::Committed
+}
+
+/// Structural well-formedness of an intent log after the run terminated.
+fn check_log_shape(records: &[Intent]) -> Result<(), String> {
+    if records.is_empty() {
+        return Err("empty log".into());
+    }
+    if !matches!(records[0], Intent::PlanStart { .. }) {
+        return Err(format!("first record is {:?}", records[0]));
+    }
+    let mut plan_starts = 0;
+    let mut terminals = 0;
+    let mut healthy_next = 0usize;
+    let mut apply_intents: BTreeSet<usize> = BTreeSet::new();
+    let mut revert_intents: BTreeSet<usize> = BTreeSet::new();
+    for (i, rec) in records.iter().enumerate() {
+        match rec {
+            Intent::PlanStart { .. } => plan_starts += 1,
+            Intent::WaveApplyIntent { wave } => {
+                apply_intents.insert(*wave);
+            }
+            Intent::WaveApplied { wave } => {
+                if !apply_intents.contains(wave) {
+                    return Err(format!("WaveApplied {wave} without intent"));
+                }
+            }
+            Intent::WaveHealthy { wave } => {
+                if *wave != healthy_next {
+                    return Err(format!(
+                        "WaveHealthy {wave} out of order (expected {healthy_next})"
+                    ));
+                }
+                healthy_next += 1;
+            }
+            Intent::WaveRevertIntent { wave } => {
+                revert_intents.insert(*wave);
+            }
+            Intent::WaveReverted { wave } => {
+                if !revert_intents.contains(wave) {
+                    return Err(format!("WaveReverted {wave} without intent"));
+                }
+            }
+            Intent::Committed | Intent::Aborted => {
+                terminals += 1;
+                if i != records.len() - 1 {
+                    return Err(format!("terminal record {rec:?} not last"));
+                }
+            }
+            Intent::CommitIntent | Intent::AbortIntent { .. } => {}
+        }
+    }
+    if plan_starts != 1 {
+        return Err(format!("{plan_starts} PlanStart records"));
+    }
+    if terminals != 1 {
+        return Err(format!("{terminals} terminal records"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// The controller, under random wave splits, verdict scripts, apply
+    /// failures and crash points, always matches the reference model.
+    #[test]
+    fn rollout_matches_reference_model(
+        n_locks in 1usize..=16,
+        pct_a in 0u32..=100,
+        pct_b in 0u32..=100,
+        red_sel in 0usize..=8,       // >= waves.len() means "never red"
+        fail_sel in 0usize..=48,     // < n_locks selects a failing lock
+        crash_sel in 0u64..=160,     // >= 120 means "no crash"
+        recrash_sel in 0u64..=160,   // crash point for recovery itself
+    ) {
+        let names: Vec<String> = (0..n_locks).map(|i| format!("l{i}")).collect();
+        let pcts = [pct_a.min(pct_b), pct_a.max(pct_b)];
+        let plan = RolloutPlan::staged(1, "model", HookKind::CmpNode, &names, &pcts);
+        prop_assert_eq!(plan.total_locks(), n_locks);
+
+        let fail_lock = (fail_sel < n_locks).then(|| names[fail_sel].clone());
+        let red_wave = (red_sel < plan.waves.len()).then_some(red_sel);
+        let predicted = reference_model(&plan, fail_lock.as_ref(), red_wave);
+
+        let fail_set: BTreeSet<String> = fail_lock.iter().cloned().collect();
+        let target = ModelTarget::new(fail_set);
+        let log = RolloutLog::new();
+        let verdicts: Vec<HealthVerdict> = (0..plan.waves.len())
+            .map(|w| if red_wave == Some(w) {
+                HealthVerdict::Red(format!("scripted red on wave {w}"))
+            } else {
+                HealthVerdict::Green
+            })
+            .collect();
+        let mut health = ScriptedHealth::new(verdicts);
+        let chaos = if crash_sel < 120 {
+            ChaosInjector::new(ChaosPlan::crash_at(0, crash_sel))
+        } else {
+            ChaosInjector::inert()
+        };
+
+        let run = Rollout::run(plan.clone(), &log, &target, &mut health, &chaos);
+        let mut crashed = false;
+        match run {
+            Ok(RolloutOutcome::Committed) => {
+                prop_assert_eq!(predicted, Prediction::Committed);
+            }
+            Ok(RolloutOutcome::Aborted(reason)) => {
+                match predicted {
+                    Prediction::AbortedByApply(w) => prop_assert!(
+                        reason.contains(&format!("wave {w} apply failed")),
+                        "reason {:?} vs {:?}", reason, predicted
+                    ),
+                    Prediction::AbortedByHealth(w) => prop_assert!(
+                        reason.contains(&format!("scripted red on wave {w}")),
+                        "reason {:?} vs {:?}", reason, predicted
+                    ),
+                    Prediction::Committed => {
+                        return Err(TestCaseError::fail(format!(
+                            "model predicted commit, controller aborted: {reason}"
+                        )));
+                    }
+                }
+            }
+            Err(RolloutError::Crashed(_)) => {
+                crashed = true;
+                // A fresh controller recovers — possibly crashing once
+                // itself, then recovering again.
+                let first = Rollout::recover(
+                    &log,
+                    &target,
+                    &ChaosInjector::new(ChaosPlan::crash_at(0, recrash_sel)),
+                );
+                match first {
+                    Ok(_) => {}
+                    Err(RolloutError::Crashed(_)) => {
+                        let second =
+                            Rollout::recover(&log, &target, &ChaosInjector::inert());
+                        prop_assert!(second.is_ok(), "re-recovery failed: {:?}", second);
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("recover: {e}"))),
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("rollout: {e}"))),
+        }
+
+        // Convergence: the world is all-applied or all-reverted, and
+        // which one matches the log's terminal record.
+        let records = log.records();
+        if records.is_empty() {
+            // Crashed on the very first barrier, before PlanStart hit
+            // the log: nothing durable, nothing mutated, nothing to
+            // recover.
+            prop_assert!(crashed);
+            prop_assert_eq!(target.applied_total(), 0);
+            let again = Rollout::recover(&log, &target, &ChaosInjector::inert());
+            prop_assert!(matches!(again, Ok(RecoverOutcome::NoRollout)));
+            return Ok(());
+        }
+        check_log_shape(&records).map_err(TestCaseError::fail)?;
+        let committed = records.iter().any(|r| matches!(r, Intent::Committed));
+        let commit_intent = records.iter().any(|r| matches!(r, Intent::CommitIntent));
+        let applied = target.applied_total();
+        if committed {
+            prop_assert_eq!(applied, n_locks, "committed but not fully applied");
+            prop_assert!(commit_intent, "Committed without CommitIntent");
+            prop_assert_eq!(predicted, Prediction::Committed,
+                "commit is only reachable when the model predicts it");
+        } else {
+            prop_assert_eq!(applied, 0, "aborted but patches remain");
+        }
+        if crashed {
+            prop_assert!(
+                records.iter().any(|r| matches!(r, Intent::AbortIntent { .. }))
+                    || commit_intent,
+                "recovery must leave an abort or commit intent in the log"
+            );
+        }
+
+        // Recovery on a terminal log is a no-op and changes nothing.
+        let before = target.applied_total();
+        let again = Rollout::recover(&log, &target, &ChaosInjector::inert());
+        prop_assert!(
+            matches!(again, Ok(RecoverOutcome::AlreadyTerminal(_))),
+            "expected AlreadyTerminal, got {:?}", again
+        );
+        prop_assert_eq!(target.applied_total(), before);
+        prop_assert_eq!(log.records().len(), records.len(), "no-op recovery appended");
+    }
+
+    /// The staged splitter always partitions: waves are non-empty, in
+    /// order, disjoint, and cover every lock exactly once — with the
+    /// first wave a single-lock canary.
+    #[test]
+    fn staged_split_is_a_partition(
+        n_locks in 1usize..=64,
+        pcts in proptest::collection::vec(0u32..=100, 0..=4),
+    ) {
+        let names: Vec<String> = (0..n_locks).map(|i| format!("l{i}")).collect();
+        let plan = RolloutPlan::staged(1, "p", HookKind::CmpNode, &names, &pcts);
+        prop_assert_eq!(plan.waves[0].len(), 1, "canary is one lock");
+        let mut flat = Vec::new();
+        for wave in &plan.waves {
+            prop_assert!(!wave.is_empty(), "empty wave");
+            flat.extend(wave.iter().cloned());
+        }
+        prop_assert_eq!(flat, names, "waves must partition the cohort in order");
+    }
+}
