@@ -88,6 +88,11 @@ pub enum HelperId {
     /// the trace plane is armed, and the bytes land in the per-CPU ring
     /// as an ordered `policy_emit` record rather than a printk string.
     TraceEmit = 13,
+    /// `sched_hint(code) -> u64` — schedule-exploration channel: inside
+    /// the explorer (`concord::explore`), a steering policy queries run
+    /// state (points visited, injections made, per-point randomness) by
+    /// code; outside the explorer every code returns 0.
+    SchedHint = 14,
 }
 
 /// Largest payload `trace_emit` accepts, enforced statically by the
@@ -257,6 +262,12 @@ pub static HELPERS: &[HelperSig] = &[
         args: &[ArgSpec::StackBufWithLen, ArgSpec::Scalar],
         ret: RetSpec::Scalar,
     },
+    HelperSig {
+        id: HelperId::SchedHint,
+        name: "sched_hint",
+        args: &[ArgSpec::Scalar],
+        ret: RetSpec::Scalar,
+    },
 ];
 
 /// Execution environment a policy runs against.
@@ -296,6 +307,11 @@ pub trait PolicyEnv {
     /// forward these into the telemetry plane as `policy_emit` records;
     /// the default discards them.
     fn trace_emit(&self, _payload: &[u8]) {}
+    /// Answers a `sched_hint(code)` query. Only the schedule explorer's
+    /// environment implements this; everywhere else the helper is inert.
+    fn sched_hint(&self, _code: u64) -> u64 {
+        0
+    }
 }
 
 /// A [`PolicyEnv`] with fixed values, for tests and documentation.

@@ -441,6 +441,10 @@ impl Machine<'_> {
                 let cpu = self.read_reg(pc, Reg::R1)?;
                 u64::from(self.env.cpu_online(cpu as u32))
             }
+            HelperId::SchedHint => {
+                let code = self.read_reg(pc, Reg::R1)?;
+                self.env.sched_hint(code)
+            }
             HelperId::TracePrintk => {
                 let buf = self.read_reg(pc, Reg::R1)?;
                 let len = self.read_reg(pc, Reg::R2)? as usize;

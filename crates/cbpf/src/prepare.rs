@@ -225,6 +225,10 @@ fn env_cpu_online(env: &dyn PolicyEnv, cpu: u64) -> u64 {
     u64::from(env.cpu_online(cpu as u32))
 }
 
+fn env_sched_hint(env: &dyn PolicyEnv, code: u64) -> u64 {
+    env.sched_hint(code)
+}
+
 /// O(1) context access control: per byte offset, a bitmask of permitted
 /// access widths (bit k ⇔ width `1 << k`), reads and writes separately.
 /// Replaces the legacy per-access linear scan over the field list.
@@ -404,6 +408,7 @@ impl Program {
                     }),
                     Some(HelperId::CpuToNode) => Ok(PInsn::CallEnv1 { f: env_cpu_to_node }),
                     Some(HelperId::CpuOnline) => Ok(PInsn::CallEnv1 { f: env_cpu_online }),
+                    Some(HelperId::SchedHint) => Ok(PInsn::CallEnv1 { f: env_sched_hint }),
                     Some(HelperId::TracePrintk) | Some(HelperId::TraceEmit) => {
                         Ok(PInsn::CallTrace { helper })
                     }

@@ -32,12 +32,15 @@
 //! rollout status                where the rollout stands
 //! rollout abort [reason…]       roll every applied wave back
 //! rollout recover               converge after a crashed controller
+//! explore run <fixture> <strategy> [n] [seed]    schedule exploration
+//! explore shrink <fixture> <strategy> <out> [n] [seed]  write minimal repro
+//! explore replay <file>         replay a repro artifact, verify pinning
 //! help | quit
 //! ```
 //!
-//! The `rollout` and `quarantines <lock>` families report **typed**
-//! errors and, in scripted mode, make the process exit nonzero on
-//! failure — they are the commands CI gates on. Legacy commands keep
+//! The `rollout`, `quarantines <lock>` and `explore` families report
+//! **typed** errors and, in scripted mode, make the process exit nonzero
+//! on failure — they are the commands CI gates on. Legacy commands keep
 //! the historical always-exit-0 contract.
 //!
 //! Setting `C3_TRACE=1` in the environment arms the trace plane at
@@ -54,7 +57,10 @@ use concord::rollout::{
     BreakerMap, ChaosInjector, HealthConfig, MetricsHealth, RealTarget, RecoverOutcome, Rollout,
     RolloutLog, RolloutOutcome, RolloutPlan, WaveOutcome,
 };
-use concord::{BreakerConfig, Concord, LoadedPolicy, PolicySpec, RolloutError};
+use concord::{
+    explore, BreakerConfig, Concord, ExploreConfig, ExploreError, Fixture, LoadedPolicy,
+    PolicySpec, Repro, RolloutError, StrategySpec,
+};
 use locks::hooks::HookKind;
 use locks::{Bravo, NeutralRwLock, RawLock, ShflLock, ShflMutex};
 
@@ -67,6 +73,8 @@ enum CtlError {
     UnknownLock(String),
     UnknownPolicy(String),
     Rollout(RolloutError),
+    Explore(ExploreError),
+    Io(String),
 }
 
 impl fmt::Display for CtlError {
@@ -78,6 +86,8 @@ impl fmt::Display for CtlError {
                 write!(f, "no loaded policy `{p}` (use `load` first)")
             }
             CtlError::Rollout(e) => write!(f, "{e}"),
+            CtlError::Explore(e) => write!(f, "{e}"),
+            CtlError::Io(e) => write!(f, "{e}"),
         }
     }
 }
@@ -85,6 +95,12 @@ impl fmt::Display for CtlError {
 impl From<RolloutError> for CtlError {
     fn from(e: RolloutError) -> Self {
         CtlError::Rollout(e)
+    }
+}
+
+impl From<ExploreError> for CtlError {
+    fn from(e: ExploreError) -> Self {
+        CtlError::Explore(e)
     }
 }
 
@@ -211,6 +227,10 @@ impl Ctl {
             "rollout" => {
                 let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
                 self.typed(Self::cmd_rollout, &rest)
+            }
+            "explore" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.typed(Self::cmd_explore, &rest)
             }
             "hammer" => self.cmd_hammer(parts.next(), parts.next(), parts.next()),
             "stats" => self.cmd_stats(parts.next()),
@@ -394,6 +414,94 @@ impl Ctl {
                         println!("  recovered: rolled back to pre-rollout state")
                     }
                 }
+                Ok(())
+            }
+            _ => Err(CtlError::Usage(USAGE)),
+        }
+    }
+
+    /// `explore run|shrink|replay` — the schedule-exploration surface.
+    fn cmd_explore(&mut self, rest: &[&str]) -> Result<(), CtlError> {
+        const USAGE: &str = "explore run <fixture> <strategy> [schedules] [seed] | \
+             explore shrink <fixture> <strategy> <out-file> [schedules] [seed] | \
+             explore replay <file>";
+        let parse_campaign = |fixture: &str,
+                              strategy: &str,
+                              schedules: Option<&&str>,
+                              seed: Option<&&str>|
+         -> Result<(Fixture, StrategySpec, ExploreConfig), CtlError> {
+            let fixture = Fixture::from_name(fixture)
+                .ok_or_else(|| ExploreError::UnknownFixture(fixture.to_string()))?;
+            let spec = StrategySpec::from_name(strategy)
+                .ok_or_else(|| ExploreError::UnknownStrategy(strategy.to_string()))?;
+            let mut cfg = ExploreConfig::default();
+            if let Some(n) = schedules {
+                cfg.schedules = n.parse().map_err(|_| CtlError::Usage(USAGE))?;
+            }
+            if let Some(s) = seed {
+                cfg.base_seed = s.parse().map_err(|_| CtlError::Usage(USAGE))?;
+            }
+            Ok((fixture, spec, cfg))
+        };
+        match rest {
+            ["run", fixture, strategy, tail @ ..] if tail.len() <= 2 => {
+                let (fixture, spec, cfg) =
+                    parse_campaign(fixture, strategy, tail.first(), tail.get(1))?;
+                let report = explore(fixture, &spec, &cfg)?;
+                match (&report.violation, &report.repro) {
+                    (Some(v), Some(r)) => {
+                        println!(
+                            "  {}: {} at schedule {} ({} schedule(s) run)",
+                            report.fixture,
+                            v,
+                            report.first_bug_schedule.unwrap_or(0),
+                            report.schedules_run
+                        );
+                        println!(
+                            "  shrunk to {} injection(s), trace {:#x} — use `explore shrink` \
+                             to save the artifact",
+                            r.injections.len(),
+                            r.trace_hash
+                        );
+                    }
+                    _ => println!(
+                        "  {}: no violation in {} schedules under {}",
+                        report.fixture, report.schedules_run, report.strategy
+                    ),
+                }
+                Ok(())
+            }
+            ["shrink", fixture, strategy, out, tail @ ..] if tail.len() <= 2 => {
+                let (fixture, spec, cfg) =
+                    parse_campaign(fixture, strategy, tail.first(), tail.get(1))?;
+                let report = explore(fixture, &spec, &cfg)?;
+                let Some(repro) = report.repro else {
+                    return Err(CtlError::Io(format!(
+                        "no violation in {} schedules — nothing to shrink",
+                        report.schedules_run
+                    )));
+                };
+                std::fs::write(out, repro.to_text())
+                    .map_err(|e| CtlError::Io(format!("write {out}: {e}")))?;
+                println!(
+                    "  wrote {out}: {} {} seed {} with {} injection(s), trace {:#x}",
+                    repro.fixture,
+                    repro.violation,
+                    repro.seed,
+                    repro.injections.len(),
+                    repro.trace_hash
+                );
+                Ok(())
+            }
+            ["replay", file] => {
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| CtlError::Io(format!("read {file}: {e}")))?;
+                let repro = Repro::from_text(&text)?;
+                let out = repro.replay()?;
+                println!(
+                    "  replayed {}: {} reproduced, trace {:#x} (pinned), {} point(s) visited",
+                    repro.fixture, repro.violation, out.trace_hash, out.points
+                );
                 Ok(())
             }
             _ => Err(CtlError::Usage(USAGE)),

@@ -51,6 +51,7 @@
 pub mod compose;
 pub mod containment;
 pub mod env;
+pub mod explore;
 pub mod hookctx;
 pub mod policies;
 pub mod policy;
@@ -62,6 +63,10 @@ pub mod watchdog;
 mod workflow;
 
 pub use compose::{Combinator, ComposeError};
+pub use explore::{
+    explore, ExploreConfig, ExploreError, ExploreReport, Fixture, Monitor, PolicySchedStrategy,
+    Repro, RunOutcome, StrategySpec, Violation, ZooLock,
+};
 pub use containment::{
     Breaker, BreakerConfig, BreakerState, ContainedPolicy, QuarantineRecord, BREAKER_CHECK_NS,
 };

@@ -18,6 +18,7 @@ use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use crate::cache::{CacheModel, LatencyModel, LineId};
 use crate::rng::SplitMix64;
+use crate::sched::{SchedAction, SchedController, SchedSite};
 use crate::topology::{CpuId, SocketId, Topology};
 
 /// Identifier of a simulated task.
@@ -74,6 +75,10 @@ pub(crate) struct Shared {
     /// (and their capacity) circulate instead of being freed and regrown
     /// on each store/RMW (see [`TaskCtx::wake_watchers`]).
     wake_scratch: RefCell<Vec<TaskId>>,
+    /// Schedule-exploration controller consulted at every
+    /// [`TaskCtx::sched_point`]. `None` (the default) makes every schedule
+    /// point a strict no-op: no event, no randomness, no virtual time.
+    sched: RefCell<Option<Rc<SchedController>>>,
 }
 
 impl Shared {
@@ -192,6 +197,7 @@ impl SimBuilder {
                 trace_log: RefCell::new(None),
                 offline_until: RefCell::new(vec![0; self.topology.num_cpus() as usize]),
                 wake_scratch: RefCell::new(Vec::new()),
+                sched: RefCell::new(None),
             }),
         }
     }
@@ -414,6 +420,14 @@ impl Sim {
         self.shared.next_obj_id.set(id + 1);
         id
     }
+
+    /// Installs (or, with `None`, removes) the schedule-exploration
+    /// controller. While installed, every [`TaskCtx::sched_point`] in the
+    /// workload consults its strategy, which may delay or preempt the
+    /// arriving task to steer the interleaving.
+    pub fn set_sched_hook(&self, controller: Option<Rc<SchedController>>) {
+        *self.shared.sched.borrow_mut() = controller;
+    }
 }
 
 /// Per-task handle passed to every spawned task.
@@ -543,6 +557,42 @@ impl TaskCtx {
             self.shared.schedule(w, now + cost);
         }
         *self.shared.wake_scratch.borrow_mut() = scratch;
+    }
+
+    /// A schedule point: lets an installed [`SchedController`] perturb the
+    /// interleaving here (delay this task, or take its vCPU offline for a
+    /// window). With no controller installed this completes immediately
+    /// without charging time, consuming randomness or scheduling an event,
+    /// so instrumented algorithms behave bit-identically in normal runs.
+    pub async fn sched_point(&self, site: SchedSite, lock_id: u64) {
+        let controller = match self.shared.sched.borrow().as_ref() {
+            Some(c) => Rc::clone(c),
+            None => return,
+        };
+        let action = controller.on_point(
+            site,
+            self.id,
+            self.cpu.0,
+            self.socket.0,
+            lock_id,
+            self.shared.now(),
+        );
+        match action {
+            SchedAction::Proceed => {}
+            SchedAction::Delay(ns) => self.advance(ns).await,
+            SchedAction::Preempt(ns) => {
+                // Take this task's vCPU offline; our own resume event is
+                // deferred past the window by the run loop, like every
+                // other event pinned there.
+                let until = self.shared.now() + ns;
+                {
+                    let mut off = self.shared.offline_until.borrow_mut();
+                    let slot = &mut off[self.cpu.0 as usize];
+                    *slot = (*slot).max(until);
+                }
+                self.advance(1).await;
+            }
+        }
     }
 
     /// CPU and socket of another task (used by topology-aware policies).

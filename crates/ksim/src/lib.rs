@@ -54,6 +54,7 @@ mod cache;
 mod cell;
 mod exec;
 mod rng;
+pub mod sched;
 pub mod stats;
 mod topology;
 
@@ -61,5 +62,9 @@ pub use cache::{LatencyModel, LineId};
 pub use cell::{SimCell, SimFlag, SimWord};
 pub use exec::{Sim, SimBuilder, SimStats, TaskCtx, TaskId};
 pub use rng::SplitMix64;
+pub use sched::{
+    Injection, PctStrategy, RandomDelayStrategy, ReplayStrategy, SchedAction, SchedController,
+    SchedPoint, SchedSite, ScheduleStrategy, MAX_INJECT_NS,
+};
 pub use stats::{Histogram, OnlineStats};
 pub use topology::{CpuId, SocketId, Topology};

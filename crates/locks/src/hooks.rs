@@ -175,6 +175,21 @@ impl HookKind {
         }
     }
 
+    /// Name of the schedule-exploration injection site co-located with
+    /// this hook (`ksim::SchedSite::name` vocabulary): the explorer
+    /// perturbs schedules at exactly the program points where policies
+    /// run, so a finding at a site names the hook a steering policy
+    /// would use there.
+    pub fn sched_site_name(self) -> &'static str {
+        match self {
+            HookKind::CmpNode | HookKind::SkipShuffle => "shuffle",
+            HookKind::ScheduleWaiter | HookKind::LockContended => "contended",
+            HookKind::LockAcquire => "acquire",
+            HookKind::LockAcquired => "acquired",
+            HookKind::LockRelease => "release",
+        }
+    }
+
     /// Telemetry event kind for records emitted at this hook's site.
     pub fn event_kind(self) -> telemetry::EventKind {
         match self {

@@ -8,7 +8,7 @@
 
 use std::cell::Cell;
 
-use ksim::{Sim, SimWord, TaskCtx, TaskId};
+use ksim::{SchedSite, Sim, SimWord, TaskCtx, TaskId};
 
 use crate::rw::SimNeutralRwLock;
 
@@ -89,8 +89,14 @@ impl SimBravo {
         (x as usize) % VR_SLOTS
     }
 
+    /// Per-simulation lock identity (schedule points, oracles).
+    pub fn lock_id(&self) -> u64 {
+        self.id
+    }
+
     /// Acquires shared access.
     pub async fn read_acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         if self.rbias.load(t).await == 1 {
             let idx = self.slot_of(t);
             let me = u64::from(t.id().0 + 1);
@@ -99,10 +105,15 @@ impl SimBravo {
                 "nested BRAVO fast reads by one task are not modeled"
             );
             if self.table[idx].compare_exchange(t, 0, me).await.is_ok() {
+                // The publish→recheck window BRAVO's protocol exists for:
+                // a concurrent revoker either sees our slot or we see the
+                // cleared bias and fall through to the slow path.
+                t.sched_point(SchedSite::Window, self.id).await;
                 // Recheck the bias after publishing.
                 if self.rbias.load(t).await == 1 {
                     self.published.borrow_mut().insert(t.id(), idx);
                     self.fast_reads.set(self.fast_reads.get() + 1);
+                    t.sched_point(SchedSite::Acquired, self.id).await;
                     return;
                 }
                 self.table[idx].store(t, 0).await;
@@ -115,10 +126,12 @@ impl SimBravo {
             // Safe to re-enable: we hold a read lock, no writer can run.
             self.rbias.store(t, 1).await;
         }
+        t.sched_point(SchedSite::Acquired, self.id).await;
     }
 
     /// Releases shared access.
     pub async fn read_release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         let slot = self.published.borrow_mut().remove(&t.id());
         match slot {
             Some(idx) => self.table[idx].store(t, 0).await,
@@ -128,14 +141,17 @@ impl SimBravo {
 
     /// Acquires exclusive access.
     pub async fn write_acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         self.underlying.write_acquire(t).await;
         if self.rbias.load(t).await == 1 {
             self.revoke(t).await;
         }
+        t.sched_point(SchedSite::Acquired, self.id).await;
     }
 
     /// Releases exclusive access.
     pub async fn write_release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         self.underlying.write_release(t).await;
     }
 

@@ -38,6 +38,7 @@
 
 mod arena;
 mod bravo;
+pub mod broken;
 mod mcs;
 mod phasefair;
 pub mod policy;
@@ -47,6 +48,7 @@ mod tas;
 mod ticket;
 
 pub use bravo::SimBravo;
+pub use broken::{BrokenTicketLock, InversionPair, UnfairStealLock};
 pub use mcs::SimMcsLock;
 pub use phasefair::SimPhaseFairRwLock;
 pub use policy::{FifoPolicy, NativePolicy, SimPolicy};

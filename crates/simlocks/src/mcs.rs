@@ -3,7 +3,7 @@
 
 use std::cell::Cell;
 
-use ksim::{Sim, SimWord, TaskCtx};
+use ksim::{SchedSite, Sim, SimWord, TaskCtx};
 
 use crate::arena::{NodeArena, GRANTED, WAITING};
 
@@ -11,6 +11,7 @@ use crate::arena::{NodeArena, GRANTED, WAITING};
 /// transfers exactly one line — scalable but strictly FIFO, so every
 /// cross-socket handoff pays the interconnect.
 pub struct SimMcsLock {
+    id: u64,
     tail: SimWord,
     arena: NodeArena,
     holder: Cell<u32>,
@@ -20,27 +21,40 @@ impl SimMcsLock {
     /// Creates an unlocked instance on `sim`'s machine.
     pub fn new(sim: &Sim) -> Self {
         SimMcsLock {
+            id: sim.alloc_id(),
             tail: SimWord::new(sim, 0),
             arena: NodeArena::new(sim),
             holder: Cell::new(0),
         }
     }
 
+    /// Per-simulation lock identity (schedule points, oracles).
+    pub fn lock_id(&self) -> u64 {
+        self.id
+    }
+
     /// Acquires the lock.
     pub async fn acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         let idx = self.arena.alloc(t);
         let node = self.arena.get(idx);
         let prev = self.tail.swap(t, u64::from(idx)).await;
         if prev != 0 {
+            // The swap→link window: a releasing predecessor waits for the
+            // link, so stretching this is safe in a correct MCS lock.
+            t.sched_point(SchedSite::Window, self.id).await;
             let pnode = self.arena.get(prev as u32);
             pnode.next.store(t, u64::from(idx)).await;
+            t.sched_point(SchedSite::Contended, self.id).await;
             node.status.wait_while(t, |s| s == WAITING).await;
         }
         self.holder.set(idx);
+        t.sched_point(SchedSite::Acquired, self.id).await;
     }
 
     /// Releases the lock.
     pub async fn release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         let idx = self.holder.replace(0);
         assert_ne!(idx, 0, "release of unheld SimMcsLock");
         let node = self.arena.get(idx);

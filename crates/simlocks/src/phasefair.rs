@@ -2,7 +2,7 @@
 //! use case of §3.1.2: bounded reader/writer blocking by alternating
 //! phases. Same ticket formulation as `locks::PhaseFairRwLock`.
 
-use ksim::{Sim, SimWord, TaskCtx};
+use ksim::{SchedSite, Sim, SimWord, TaskCtx};
 
 const RINC: u64 = 0x100;
 const PRES: u64 = 0x2;
@@ -11,6 +11,7 @@ const WBITS: u64 = PRES | PHID;
 
 /// The simulated phase-fair rwlock.
 pub struct SimPhaseFairRwLock {
+    id: u64,
     rin: SimWord,
     rout: SimWord,
     win: SimWord,
@@ -21,6 +22,7 @@ impl SimPhaseFairRwLock {
     /// Creates an unlocked instance on `sim`'s machine.
     pub fn new(sim: &Sim) -> Self {
         SimPhaseFairRwLock {
+            id: sim.alloc_id(),
             rin: SimWord::new(sim, 0),
             rout: SimWord::new(sim, 0),
             win: SimWord::new(sim, 0),
@@ -28,33 +30,47 @@ impl SimPhaseFairRwLock {
         }
     }
 
+    /// Per-simulation lock identity (schedule points, oracles).
+    pub fn lock_id(&self) -> u64 {
+        self.id
+    }
+
     /// Acquires shared access (waits at most one writer phase).
     pub async fn read_acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         let w = self.rin.fetch_add(t, RINC).await & WBITS;
         if w != 0 {
+            t.sched_point(SchedSite::Contended, self.id).await;
             // Wait for this writer's phase to end; the *next* writer has a
             // different phase id, so we are admitted in between.
             self.rin.wait_while(t, move |v| v & WBITS == w).await;
         }
+        t.sched_point(SchedSite::Acquired, self.id).await;
     }
 
     /// Releases shared access.
     pub async fn read_release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         self.rout.fetch_add(t, RINC).await;
     }
 
     /// Acquires exclusive access (waits at most one reader phase plus the
     /// writer queue).
     pub async fn write_acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         let ticket = self.win.fetch_add(t, 1).await;
         self.wout.wait_while(t, move |v| v != ticket).await;
+        // Writer turn taken; now drain the reader phase that entered first.
+        t.sched_point(SchedSite::Window, self.id).await;
         let w = PRES | (ticket & PHID);
         let entered = self.rin.fetch_add(t, w).await & !WBITS;
         self.rout.wait_while(t, move |v| v != entered).await;
+        t.sched_point(SchedSite::Acquired, self.id).await;
     }
 
     /// Releases exclusive access.
     pub async fn write_release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         self.rin.fetch_and(t, !WBITS).await;
         self.wout.fetch_add(t, 1).await;
     }

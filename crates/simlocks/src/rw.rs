@@ -5,7 +5,7 @@
 //! BRAVO removes: every reader RMWs the same line, so read-side throughput
 //! flattens as sockets contend for it.
 
-use ksim::{Sim, SimWord, TaskCtx};
+use ksim::{SchedSite, Sim, SimWord, TaskCtx};
 
 const WRITER: u64 = 1;
 const WRITER_WAITING: u64 = 2;
@@ -13,6 +13,7 @@ const READER_UNIT: u64 = 4;
 
 /// The simulated neutral rwlock.
 pub struct SimNeutralRwLock {
+    id: u64,
     word: SimWord,
 }
 
@@ -20,25 +21,37 @@ impl SimNeutralRwLock {
     /// Creates an unlocked instance on `sim`'s machine.
     pub fn new(sim: &Sim) -> Self {
         SimNeutralRwLock {
+            id: sim.alloc_id(),
             word: SimWord::new(sim, 0),
         }
     }
 
+    /// Per-simulation lock identity (schedule points, oracles).
+    pub fn lock_id(&self) -> u64 {
+        self.id
+    }
+
     /// Acquires shared access.
     pub async fn read_acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         loop {
             let w = self.word.load(t).await;
             if w & (WRITER | WRITER_WAITING) == 0 {
+                // The load→CAS window: on interference the CAS fails and
+                // the loop retries.
+                t.sched_point(SchedSite::Window, self.id).await;
                 if self
                     .word
                     .compare_exchange(t, w, w + READER_UNIT)
                     .await
                     .is_ok()
                 {
+                    t.sched_point(SchedSite::Acquired, self.id).await;
                     return;
                 }
                 continue;
             }
+            t.sched_point(SchedSite::Contended, self.id).await;
             self.word
                 .wait_while(t, |w| w & (WRITER | WRITER_WAITING) != 0)
                 .await;
@@ -47,16 +60,20 @@ impl SimNeutralRwLock {
 
     /// Releases shared access.
     pub async fn read_release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         debug_assert!(self.word.peek() >= READER_UNIT, "release without readers");
         self.word.fetch_sub(t, READER_UNIT).await;
     }
 
     /// Acquires exclusive access.
     pub async fn write_acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         loop {
             let w = self.word.load(t).await;
             if w & !WRITER_WAITING == 0 {
+                t.sched_point(SchedSite::Window, self.id).await;
                 if self.word.compare_exchange(t, w, WRITER).await.is_ok() {
+                    t.sched_point(SchedSite::Acquired, self.id).await;
                     return;
                 }
                 continue;
@@ -66,12 +83,14 @@ impl SimNeutralRwLock {
                 let _ = self.word.compare_exchange(t, w, w | WRITER_WAITING).await;
                 continue;
             }
+            t.sched_point(SchedSite::Contended, self.id).await;
             self.word.wait_while(t, |w| w & !WRITER_WAITING != 0).await;
         }
     }
 
     /// Releases exclusive access.
     pub async fn write_release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         debug_assert!(self.word.peek() & WRITER != 0, "release without writer");
         self.word.fetch_and(t, !WRITER).await;
     }

@@ -10,7 +10,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use ksim::{Sim, SimWord, TaskCtx};
+use ksim::{SchedSite, Sim, SimWord, TaskCtx};
 use locks::hooks::{CmpNodeCtx, HookKind, LockEventCtx, SkipShuffleCtx};
 
 use crate::arena::{NodeArena, GRANTED, WAITING};
@@ -134,6 +134,7 @@ impl SimShflLock {
     }
 
     async fn fire(&self, t: &TaskCtx, kind: HookKind) {
+        t.sched_point(SchedSite::HookDispatch, self.id).await;
         if telemetry::armed() {
             // Virtual-time clock domain: the record carries `t.now()`, so a
             // DES replay is bit-identical. Tracing charges no virtual time —
@@ -173,6 +174,7 @@ impl SimShflLock {
     /// locks the task already holds (the lock-inheritance context of
     /// §3.1.1).
     pub async fn acquire_ctx(&self, t: &TaskCtx, prio: i64, cs_hint: u64, held_locks: u32) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         self.fire(t, HookKind::LockAcquire).await;
         // Fast path, only when the queue is empty (qspinlock discipline:
         // unbounded stealing would starve the queue head).
@@ -181,6 +183,7 @@ impl SimShflLock {
             self.fire(t, HookKind::LockAcquired).await;
             return;
         }
+        t.sched_point(SchedSite::Contended, self.id).await;
         self.fire(t, HookKind::LockContended).await;
 
         let idx = self.arena.alloc(t);
@@ -274,6 +277,7 @@ impl SimShflLock {
         }
         self.arena.release(idx);
         self.note_acquired(t);
+        t.sched_point(SchedSite::Acquired, self.id).await;
         self.fire(t, HookKind::LockAcquired).await;
     }
 
@@ -341,6 +345,7 @@ impl SimShflLock {
 
     /// Releases the lock.
     pub async fn release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         self.fire(t, HookKind::LockRelease).await;
         debug_assert_eq!(self.locked.peek(), 1, "release of unheld SimShflLock");
         self.locked.store(t, 0).await;
@@ -355,6 +360,7 @@ impl SimShflLock {
     /// returns the final anchor (last node of the batched prefix). The
     /// phase aborts as soon as the shuffler is granted headship.
     async fn shuffle(&self, t: &TaskCtx, head_idx: u32) -> u32 {
+        t.sched_point(SchedSite::Shuffle, self.id).await;
         #[cfg(debug_assertions)]
         let nodes_before = self.queue_nodes(head_idx);
 

@@ -1,11 +1,12 @@
 //! Simulated test-and-set lock.
 
-use ksim::{Sim, SimFlag, TaskCtx};
+use ksim::{SchedSite, Sim, SimFlag, TaskCtx};
 
 /// Test-and-test-and-set lock in the machine model: every contender RMWs
 /// the same line, so each handoff triggers an invalidation storm across
 /// all spinning sockets — the collapse curve of non-scalable locks.
 pub struct SimTasLock {
+    id: u64,
     locked: SimFlag,
 }
 
@@ -13,24 +14,37 @@ impl SimTasLock {
     /// Creates an unlocked instance on `sim`'s machine.
     pub fn new(sim: &Sim) -> Self {
         SimTasLock {
+            id: sim.alloc_id(),
             locked: SimFlag::new(sim, false),
         }
     }
 
+    /// Per-simulation lock identity (schedule points, oracles).
+    pub fn lock_id(&self) -> u64 {
+        self.id
+    }
+
     /// Acquires the lock.
     pub async fn acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         loop {
             // Wait until it looks free (shared-mode spin)…
             self.locked.wait_clear(t).await;
+            // The read→RMW window: a correct TAS just retries when another
+            // contender wins the race here.
+            t.sched_point(SchedSite::Window, self.id).await;
             // …then race an RMW for it.
             if !self.locked.test_and_set(t).await {
+                t.sched_point(SchedSite::Acquired, self.id).await;
                 return;
             }
+            t.sched_point(SchedSite::Contended, self.id).await;
         }
     }
 
     /// Releases the lock.
     pub async fn release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         debug_assert!(self.locked.peek(), "release of unheld SimTasLock");
         self.locked.clear(t).await;
     }

@@ -1,11 +1,12 @@
 //! Simulated ticket lock.
 
-use ksim::{Sim, SimWord, TaskCtx};
+use ksim::{SchedSite, Sim, SimWord, TaskCtx};
 
 /// FIFO ticket lock in the machine model: one RMW to take a ticket, then
 /// all waiters spin on the shared `serving` word — fair, but every handoff
 /// invalidates every waiting socket.
 pub struct SimTicketLock {
+    id: u64,
     next: SimWord,
     serving: SimWord,
 }
@@ -14,19 +15,31 @@ impl SimTicketLock {
     /// Creates an unlocked instance on `sim`'s machine.
     pub fn new(sim: &Sim) -> Self {
         SimTicketLock {
+            id: sim.alloc_id(),
             next: SimWord::new(sim, 0),
             serving: SimWord::new(sim, 0),
         }
     }
 
+    /// Per-simulation lock identity (schedule points, oracles).
+    pub fn lock_id(&self) -> u64 {
+        self.id
+    }
+
     /// Acquires the lock.
     pub async fn acquire(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Acquire, self.id).await;
         let my = self.next.fetch_add(t, 1).await;
+        if self.serving.peek() != my {
+            t.sched_point(SchedSite::Contended, self.id).await;
+        }
         self.serving.wait_while(t, move |s| s != my).await;
+        t.sched_point(SchedSite::Acquired, self.id).await;
     }
 
     /// Releases the lock.
     pub async fn release(&self, t: &TaskCtx) {
+        t.sched_point(SchedSite::Release, self.id).await;
         let s = self.serving.peek();
         debug_assert!(self.next.peek() > s, "release of unheld SimTicketLock");
         self.serving.store(t, s + 1).await;

@@ -36,6 +36,16 @@ echo "== chaos_gate (C3_CHAOS_GATE=${C3_CHAOS_GATE:-1}) =="
 C3_CHAOS_GATE="${C3_CHAOS_GATE:-1}" C3_CHAOS_SEEDS="${C3_CHAOS_SEEDS:-}" \
     cargo run -p c3-bench --release --bin chaos_gate
 
+# Schedule-exploration gate: every strategy must find all three planted
+# bugs in simlocks::broken within a fixed schedule budget, shrink each to
+# a minimal injection list, and replay it bit-identically — while the
+# correct zoo stays violation-free under the same adversarial schedules.
+# Override base seeds with C3_SCHED_SEEDS=a,b,c; skip with
+# C3_SCHED_GATE=0.
+echo "== schedule_gate (C3_SCHED_GATE=${C3_SCHED_GATE:-1}) =="
+C3_SCHED_GATE="${C3_SCHED_GATE:-1}" C3_SCHED_SEEDS="${C3_SCHED_SEEDS:-}" \
+    cargo run -p c3-bench --release --bin schedule_gate
+
 echo "== scripts/smoke.sh =="
 ./scripts/smoke.sh
 

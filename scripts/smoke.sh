@@ -67,4 +67,30 @@ if ./target/release/c3ctl "$rollout_fail_script" >/dev/null 2>&1; then
 fi
 echo "c3ctl rollout smoke ok"
 
+# Explore smoke: find a planted bug, save the shrunk repro artifact,
+# replay it (the replay verifies the pinned trace hash); then require a
+# typed explore error (unknown fixture) to exit nonzero.
+echo "== c3ctl explore smoke =="
+explore_script="$(mktemp)"
+explore_fail_script="$(mktemp)"
+explore_repro="$(mktemp)"
+trap 'rm -f "$trace_script" "$rollout_script" "$rollout_fail_script" \
+    "$explore_script" "$explore_fail_script" "$explore_repro"' EXIT
+printf '%s\n' \
+    "explore shrink broken_ticket random $explore_repro" \
+    "explore replay $explore_repro" \
+    'quit' > "$explore_script"
+explore_out="$(./target/release/c3ctl "$explore_script")"
+if ! grep -q 'reproduced' <<< "$explore_out"; then
+    echo "c3ctl explore smoke FAILED: repro did not replay:" >&2
+    echo "$explore_out" >&2
+    exit 1
+fi
+printf 'explore run no_such_fixture random\nquit\n' > "$explore_fail_script"
+if ./target/release/c3ctl "$explore_fail_script" >/dev/null 2>&1; then
+    echo "c3ctl explore smoke FAILED: unknown-fixture explore exited zero" >&2
+    exit 1
+fi
+echo "c3ctl explore smoke ok"
+
 echo "smoke ok: csvs in $C3_RESULTS_DIR"

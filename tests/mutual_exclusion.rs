@@ -235,3 +235,30 @@ fn bravo_consistency_under_switching() {
     // SAFETY: joined.
     assert_eq!(unsafe { *s.pair.get() }.0, 2_000);
 }
+
+#[test]
+fn sim_zoo_sweep_under_schedule_explorer() {
+    // The simulated zoo, swept by the schedule explorer's random strategy:
+    // adversarial delay/preempt injection at every hook site must never
+    // produce a mutual-exclusion, lock-order, deadlock or starvation
+    // violation on a correct lock (the planted-bug fixtures prove the
+    // same oracles do fire on broken ones — tests/schedule_explore.rs).
+    use concord::{explore, ExploreConfig, Fixture, StrategySpec, ZooLock};
+
+    let spec = StrategySpec::from_name("random").unwrap();
+    for zoo in ZooLock::ALL {
+        let cfg = ExploreConfig {
+            schedules: 12,
+            base_seed: 0xa11,
+            ..ExploreConfig::default()
+        };
+        let report = explore(Fixture::Zoo(zoo), &spec, &cfg).unwrap();
+        assert!(
+            report.violation.is_none(),
+            "zoo_{} flagged under injection: {:?}",
+            zoo.name(),
+            report.violation
+        );
+        assert_eq!(report.schedules_run, 12, "sweep ended early");
+    }
+}
