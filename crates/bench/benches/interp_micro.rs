@@ -17,6 +17,7 @@ use cbpf::interp::{run_with_budget, DEFAULT_BUDGET};
 use cbpf::map::{Map, MapDef, MapKind};
 use cbpf::opt::OptConfig;
 use cbpf::program::{Program, ProgramBuilder};
+use cbpf::ExecTier;
 use concord::hookctx;
 use criterion::{criterion_group, criterion_main, Criterion};
 use locks::hooks::{CmpNodeCtx, NodeView};
@@ -97,15 +98,34 @@ fn bench_pair(
     g.bench_function(&format!("{name}/legacy"), |b| {
         b.iter(|| run_with_budget(prog, &mut ctx, layout, &env, DEFAULT_BUDGET).unwrap())
     });
+    // Tiers are pinned with run_tier from here on: criterion's warmup
+    // alone crosses the hot-invocation threshold, so an unpinned `run`
+    // would silently measure the compiled tier on every row.
+    //
     // Lowering alone vs lowering + the prepare-time optimizer, so the
     // optimizer's contribution is separable from the dispatch win.
     let unopt = prog.prepare_with(layout, OptConfig::none());
     g.bench_function(&format!("{name}/prepared_noopt"), |b| {
-        b.iter(|| unopt.run(&mut ctx, &env, DEFAULT_BUDGET).unwrap())
+        b.iter(|| {
+            unopt
+                .run_tier(ExecTier::Interp, &mut ctx, &env, DEFAULT_BUDGET)
+                .unwrap()
+        })
     });
     let prepared = prog.prepare(layout);
     g.bench_function(&format!("{name}/prepared"), |b| {
-        b.iter(|| prepared.run(&mut ctx, &env, DEFAULT_BUDGET).unwrap())
+        b.iter(|| {
+            prepared
+                .run_tier(ExecTier::Interp, &mut ctx, &env, DEFAULT_BUDGET)
+                .unwrap()
+        })
+    });
+    g.bench_function(&format!("{name}/jit"), |b| {
+        b.iter(|| {
+            prepared
+                .run_tier(ExecTier::Jit, &mut ctx, &env, DEFAULT_BUDGET)
+                .unwrap()
+        })
     });
 }
 
@@ -141,6 +161,11 @@ fn bench_interp_micro(c: &mut Criterion) {
 
     // One-time lowering cost, for the load path.
     g.bench_function("prepare_numa_policy", |b| b.iter(|| numa.prepare(layout)));
+    // One-time jit compile cost on top of an already-prepared program.
+    let prepared_numa = numa.prepare(layout);
+    g.bench_function("compile_jit_numa_policy", |b| {
+        b.iter(|| prepared_numa.compile_jit())
+    });
     g.finish();
 }
 

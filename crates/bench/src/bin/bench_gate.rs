@@ -1,11 +1,19 @@
 //! Fast data-plane regression gate, run by `scripts/ci.sh`.
 //!
-//! Re-runs the `map_mix` workload from `interp_micro` (map lookup + null
-//! check + read-modify-write + update — the helper-bound case the
-//! data-plane fast path exists for) on the legacy interpreter and the
-//! optimized prepared engine, and fails loudly if the prepared speedup
-//! drops below the floor. The full statistics live in the criterion
-//! benches; this is a coarse tripwire so the win can't silently regress.
+//! Two tripwires, both on the `interp_micro` workloads:
+//!
+//! * `map_mix` (map lookup + null check + read-modify-write — the
+//!   helper-bound case the prepared fast path exists for): the prepared
+//!   interpreter must stay ≥ [`PREPARED_FLOOR`]× over the legacy
+//!   interpreter.
+//! * the compiled ([`cbpf::jit`]) tier must stay ≥ [`JIT_FLOOR`]× over
+//!   the prepared interpreter on both `alu_chain` (dispatch-bound) and
+//!   `map_mix` (helper-bound).
+//!
+//! Tiers are pinned with [`cbpf::ExecTier`] so the automatic hot-count
+//! crossover can't silently move a row onto the wrong engine. The full
+//! statistics live in the criterion benches; this is a coarse gate so
+//! the wins can't silently regress.
 //!
 //! Skip with `C3_BENCH_GATE=0` (e.g. on loaded shared builders where
 //! wall-clock ratios are noise).
@@ -19,11 +27,15 @@ use cbpf::insn::{AluOp, JmpOp, MemSize, Reg};
 use cbpf::interp::{run_with_budget, DEFAULT_BUDGET};
 use cbpf::map::{Map, MapDef, MapKind};
 use cbpf::program::{Program, ProgramBuilder};
+use cbpf::ExecTier;
 
 /// Minimum prepared-vs-legacy speedup on `map_mix`. The measured ratio
 /// is ~1.5-2x; 1.3x leaves headroom for builder noise while still
 /// catching a real regression (the pre-fast-path ratio was 1.04x).
-const FLOOR: f64 = 1.3;
+const PREPARED_FLOOR: f64 = 1.3;
+/// Minimum compiled-tier speedup over the prepared interpreter, per the
+/// JIT tier's acceptance bar.
+const JIT_FLOOR: f64 = 2.0;
 const ROUNDS: usize = 9;
 const ITERS: u32 = 40_000;
 
@@ -56,18 +68,61 @@ fn map_mix_program() -> Program {
     b.build().unwrap()
 }
 
-/// Median of `ROUNDS` timings of `ITERS` back-to-back runs, in ns/run.
+fn alu_chain_program() -> Program {
+    let mut b = ProgramBuilder::new("alu_chain");
+    b.mov_imm(Reg::R0, 1);
+    b.ld_imm64(Reg::R1, 0x9e37_79b9_7f4a_7c15);
+    for i in 0..20 {
+        b.alu(AluOp::Add, Reg::R0, Reg::R1);
+        b.alu_imm(AluOp::Xor, Reg::R0, 0x5f5f + i);
+        b.alu_imm(AluOp::Lsh, Reg::R0, 7);
+        b.alu32_imm(AluOp::Mul, Reg::R0, 31);
+    }
+    b.store(MemSize::Dw, Reg::R10, -8, Reg::R0);
+    b.load(MemSize::Dw, Reg::R0, Reg::R10, -8);
+    b.exit();
+    b.build().unwrap()
+}
+
+/// Minimum of `ROUNDS` timings of `ITERS` back-to-back runs, in ns/run.
+/// Min, not median: the gate compares both engines in their quiet
+/// state, and on a shared builder preemption noise is strictly additive
+/// — the minimum is the stable estimator of the undisturbed cost.
 fn measure(mut run: impl FnMut()) -> f64 {
-    let mut samples = Vec::with_capacity(ROUNDS);
+    let mut best = f64::INFINITY;
     for _ in 0..ROUNDS {
         let start = Instant::now();
         for _ in 0..ITERS {
             run();
         }
-        samples.push(start.elapsed().as_nanos() as f64 / f64::from(ITERS));
+        best = best.min(start.elapsed().as_nanos() as f64 / f64::from(ITERS));
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[ROUNDS / 2]
+    best
+}
+
+/// (prepared-interpreter ns, compiled-tier ns) for one program, tiers
+/// pinned.
+fn tier_pair(prog: &Program, layout: &CtxLayout, env: &FixedEnv) -> (f64, f64) {
+    let prepared = prog.prepare(layout);
+    for _ in 0..10_000 {
+        prepared
+            .run_tier(ExecTier::Interp, &mut [], env, DEFAULT_BUDGET)
+            .unwrap();
+        prepared
+            .run_tier(ExecTier::Jit, &mut [], env, DEFAULT_BUDGET)
+            .unwrap();
+    }
+    let interp = measure(|| {
+        let _ = prepared
+            .run_tier(ExecTier::Interp, &mut [], env, DEFAULT_BUDGET)
+            .unwrap();
+    });
+    let jit = measure(|| {
+        let _ = prepared
+            .run_tier(ExecTier::Jit, &mut [], env, DEFAULT_BUDGET)
+            .unwrap();
+    });
+    (interp, jit)
 }
 
 fn main() {
@@ -76,33 +131,60 @@ fn main() {
         return;
     }
 
-    let prog = map_mix_program();
     let layout = CtxLayout::empty();
     let env = FixedEnv::new().cpu(12).numa(1);
-    let prepared = prog.prepare(&layout);
+    let mut failed = false;
 
-    // Warm up both engines (page in code, populate the map slab).
+    // Gate 1: prepared interpreter vs legacy on map_mix.
+    let prog = map_mix_program();
+    let prepared = prog.prepare(&layout);
     for _ in 0..10_000 {
         run_with_budget(&prog, &mut [], &layout, &env, DEFAULT_BUDGET).unwrap();
-        prepared.run(&mut [], &env, DEFAULT_BUDGET).unwrap();
+        prepared
+            .run_tier(ExecTier::Interp, &mut [], &env, DEFAULT_BUDGET)
+            .unwrap();
     }
-
     let legacy = measure(|| {
         let _ = run_with_budget(&prog, &mut [], &layout, &env, DEFAULT_BUDGET).unwrap();
     });
     let fast = measure(|| {
-        let _ = prepared.run(&mut [], &env, DEFAULT_BUDGET).unwrap();
+        let _ = prepared
+            .run_tier(ExecTier::Interp, &mut [], &env, DEFAULT_BUDGET)
+            .unwrap();
     });
     let ratio = legacy / fast;
-
     println!(
         "bench_gate: map_mix legacy {legacy:.1} ns/run, prepared {fast:.1} ns/run, \
-         speedup {ratio:.2}x (floor {FLOOR}x)"
+         speedup {ratio:.2}x (floor {PREPARED_FLOOR}x)"
     );
-    if ratio < FLOOR {
+    if ratio < PREPARED_FLOOR {
         eprintln!(
-            "bench_gate: FAIL — prepared map_mix speedup {ratio:.2}x is below the {FLOOR}x floor"
+            "bench_gate: FAIL — prepared map_mix speedup {ratio:.2}x is below the \
+             {PREPARED_FLOOR}x floor"
         );
+        failed = true;
+    }
+
+    // Gate 2: compiled tier vs prepared interpreter, both workloads.
+    for (name, prog) in [
+        ("alu_chain", alu_chain_program()),
+        ("map_mix", map_mix_program()),
+    ] {
+        let (interp, jit) = tier_pair(&prog, &layout, &env);
+        let ratio = interp / jit;
+        println!(
+            "bench_gate: {name} prepared {interp:.1} ns/run, jit {jit:.1} ns/run, \
+             speedup {ratio:.2}x (floor {JIT_FLOOR}x)"
+        );
+        if ratio < JIT_FLOOR {
+            eprintln!(
+                "bench_gate: FAIL — jit {name} speedup {ratio:.2}x is below the {JIT_FLOOR}x floor"
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
     println!("bench_gate: OK");

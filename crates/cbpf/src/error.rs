@@ -466,3 +466,64 @@ impl fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
+
+/// Error opening a compiled-policy wire artifact ([`crate::wire::open`]).
+///
+/// The variants are ordered by the check that produced them: artifact
+/// integrity first (magic, version, checksum, structure), then
+/// provenance (the verification-context digest), then the verifier
+/// itself. An artifact that fails *any* check never becomes runnable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The buffer does not start with the `C3PW` magic.
+    BadMagic,
+    /// The artifact's format version is not one this build speaks.
+    UnsupportedVersion {
+        /// Version found in the artifact.
+        version: u16,
+    },
+    /// The buffer ends before the structure it declares.
+    Truncated,
+    /// The whole-artifact checksum does not match — the bytes were
+    /// corrupted or tampered with after sealing.
+    ChecksumMismatch,
+    /// The verification-context digest does not match the load host's
+    /// layout and rules — the artifact was sealed against a different
+    /// hook context (or its payload was rewritten).
+    DigestMismatch,
+    /// A structural bound was violated (count, size or name field).
+    Malformed(&'static str),
+    /// The instruction stream does not decode.
+    Decode(DecodeError),
+    /// The program decoded but failed re-verification on the load host.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a compiled-policy artifact (bad magic)"),
+            WireError::UnsupportedVersion { version } => {
+                write!(f, "unsupported wire format version {version}")
+            }
+            WireError::Truncated => write!(f, "artifact truncated"),
+            WireError::ChecksumMismatch => write!(f, "artifact checksum mismatch"),
+            WireError::DigestMismatch => {
+                write!(f, "verification-context digest mismatch (wrong hook or tampered payload)")
+            }
+            WireError::Malformed(what) => write!(f, "malformed artifact: {what}"),
+            WireError::Decode(e) => write!(f, "artifact instruction stream: {e}"),
+            WireError::Verify(e) => write!(f, "re-verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Decode(e) => Some(e),
+            WireError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}

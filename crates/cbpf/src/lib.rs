@@ -59,12 +59,14 @@ pub mod fault;
 pub mod helpers;
 pub mod insn;
 pub mod interp;
+pub mod jit;
 pub mod map;
 pub mod opt;
 pub mod prepare;
 pub mod program;
 pub mod store;
 pub mod verifier;
+pub mod wire;
 
 pub use ctx::{CtxLayout, FieldAccess, FieldDef};
 pub use dsl::compile as compile_dsl;
@@ -74,9 +76,13 @@ pub use helpers::{FixedEnv, HelperId, PolicyEnv};
 pub use error::MapError;
 pub use insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg};
 pub use interp::run_program;
+pub use jit::JitProgram;
 pub use map::{Map, MapDef, MapKind, MAX_MAP_ENTRIES};
 pub use opt::OptConfig;
-pub use prepare::PreparedProgram;
+pub use prepare::{
+    default_jit_threshold, ExecTier, JitMode, PreparedProgram, DEFAULT_JIT_THRESHOLD,
+};
 pub use program::{Program, ProgramBuilder};
-pub use store::ObjectStore;
+pub use store::{ObjectStore, VerifiedProgram};
+pub use error::WireError;
 pub use verifier::verify;

@@ -81,6 +81,9 @@ struct Slab {
     /// Words per value (`value_size` rounded up).
     stride: usize,
     value_size: usize,
+    /// Slot count, cached so the bounds check on every policy value
+    /// access is a compare, not a division.
+    slots: usize,
     words: Box<[AtomicU64]>,
 }
 
@@ -90,12 +93,13 @@ impl Slab {
         Slab {
             stride,
             value_size,
+            slots,
             words: (0..slots * stride).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     fn slots(&self) -> usize {
-        self.words.len().checked_div(self.stride).unwrap_or(0)
+        self.slots
     }
 
     /// CAS-merges `bits` under `mask` into one word (full-mask = plain
@@ -213,6 +217,11 @@ struct HashCore {
     /// `max_entries` here so capacity is exact even though shards lock
     /// independently.
     live: AtomicUsize,
+    /// Probe-layout generation: bumped by entry insertion and deletion
+    /// (never by value overwrites), so callers can cache a key→slot
+    /// resolution and revalidate with one load. See
+    /// [`Map::probe_generation`].
+    layout_gen: AtomicU64,
     values: Slab,
 }
 
@@ -361,6 +370,7 @@ impl Map {
                         .collect(),
                     shard_cap,
                     live: AtomicUsize::new(0),
+                    layout_gen: AtomicU64::new(0),
                     values: Slab::new(shards * shard_cap, def.value_size),
                 })
             }
@@ -427,6 +437,21 @@ impl Map {
         }
     }
 
+    /// Monotonic probe-layout generation for hash maps (`None` for the
+    /// array kinds, whose key→slot mapping never changes). Bumped by
+    /// entry insertion and deletion, stable across value overwrites, so
+    /// a caller holding a `(generation, key, slot)` triple may reuse the
+    /// slot without re-probing while the generation still matches —
+    /// with the same bytes-stable-until-reuse guarantee a racing
+    /// [`Map::lookup_slot`] would have. The compiled policy tier uses
+    /// this to cache constant-key lookups.
+    pub fn probe_generation(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Hash(h) => Some(h.layout_gen.load(Ordering::Acquire)),
+            _ => None,
+        }
+    }
+
     /// Loads `n ∈ 1..=8` bytes at byte offset `off` of `slot`,
     /// little-endian. `None` when the window leaves the value.
     #[inline]
@@ -447,6 +472,22 @@ impl Map {
             return false;
         }
         values.store(slot as usize, off, n, val)
+    }
+
+    /// Direct handle to slab word `idx` (`slot * stride + off / 8`), for
+    /// the compiled tier's single-word read-modify-write path: one
+    /// bounds check covers both the load and the store of an aligned
+    /// 8-byte access. Same relaxed-word contract as
+    /// [`Map::value_load`]/[`Map::value_store`].
+    #[inline]
+    pub(crate) fn value_word(&self, idx: usize) -> Option<&AtomicU64> {
+        self.values().words.get(idx)
+    }
+
+    /// Words per value in the slab — the compiled tier bakes this into
+    /// its word-index arithmetic.
+    pub(crate) fn value_stride(&self) -> usize {
+        self.values().stride
     }
 
     /// Convenience: copies the value out (host-side reads).
@@ -501,6 +542,7 @@ impl Map {
                         table.states[pos] = OCCUPIED;
                         table.keys[pos * ks..(pos + 1) * ks].copy_from_slice(key);
                         h.values.write_value(shard * h.shard_cap + pos, value);
+                        h.layout_gen.fetch_add(1, Ordering::Release);
                         Ok(())
                     }
                     Probe::Saturated => Err(MapError::Full),
@@ -528,6 +570,7 @@ impl Map {
                     Probe::Found(pos) => {
                         table.states[pos] = TOMBSTONE;
                         h.live.fetch_sub(1, Ordering::Relaxed);
+                        h.layout_gen.fetch_add(1, Ordering::Release);
                         Ok(())
                     }
                     _ => Err(MapError::NoSuchKey),

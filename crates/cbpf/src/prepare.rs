@@ -33,7 +33,8 @@
 //! difference, which is exactly the trust contract: prepare after
 //! verification.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::ctx::{CtxLayout, FieldAccess};
 use crate::error::RunError;
@@ -46,8 +47,8 @@ use crate::opt::OptConfig;
 use crate::program::Program;
 
 pub(crate) const TAG_STACK: u64 = 1;
-const TAG_CTX: u64 = 2;
-const TAG_MAPVAL: u64 = 3;
+pub(crate) const TAG_CTX: u64 = 2;
+pub(crate) const TAG_MAPVAL: u64 = 3;
 pub(crate) const TAG_MAPREF: u64 = 4;
 
 pub(crate) fn ptr(tag: u64, index: u64, off: u32) -> u64 {
@@ -82,7 +83,7 @@ pub(crate) enum Trap {
 }
 
 impl Trap {
-    fn to_error(self, pc: usize) -> RunError {
+    pub(crate) fn to_error(self, pc: usize) -> RunError {
         match self {
             // Legacy reports the written value as `addr`; statically we
             // only know the write is illegal, so report address zero.
@@ -229,10 +230,63 @@ fn env_sched_hint(env: &dyn PolicyEnv, code: u64) -> u64 {
     env.sched_hint(code)
 }
 
+/// When [`PreparedProgram::run`] hands execution to the compiled
+/// ([`crate::jit`]) tier instead of the prepared interpreter.
+///
+/// The two tiers are observationally identical — same [`RunReport`]
+/// (including the executed-instruction count), same context and map side
+/// effects, same faults at every budget — so tier selection is purely a
+/// performance decision and never changes results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JitMode {
+    /// Never compile; every run uses the prepared interpreter.
+    Off,
+    /// Compile (once) after this many invocations; runs before the
+    /// threshold use the interpreter. `Threshold(0)` compiles on first
+    /// use.
+    Threshold(u64),
+    /// Compile on the first run.
+    Eager,
+}
+
+impl Default for JitMode {
+    /// [`JitMode::Threshold`] at [`default_jit_threshold`].
+    fn default() -> Self {
+        JitMode::Threshold(default_jit_threshold())
+    }
+}
+
+/// Invocations before the auto tier compiles, when `C3_JIT_THRESHOLD` is
+/// unset.
+pub const DEFAULT_JIT_THRESHOLD: u64 = 64;
+
+/// The hot-invocation threshold for [`JitMode::default`]: the value of
+/// `C3_JIT_THRESHOLD` (read once per process), else
+/// [`DEFAULT_JIT_THRESHOLD`].
+pub fn default_jit_threshold() -> u64 {
+    static THRESHOLD: OnceLock<u64> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("C3_JIT_THRESHOLD")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_JIT_THRESHOLD)
+    })
+}
+
+/// Pins one execution engine, bypassing [`JitMode`] selection — for
+/// differential tests and benchmarks that compare the tiers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecTier {
+    /// The prepared interpreter loop.
+    Interp,
+    /// The compiled tier (compiling it on first use if needed).
+    Jit,
+}
+
 /// O(1) context access control: per byte offset, a bitmask of permitted
 /// access widths (bit k ⇔ width `1 << k`), reads and writes separately.
 /// Replaces the legacy per-access linear scan over the field list.
-struct CtxPerm {
+pub(crate) struct CtxPerm {
     read: Box<[u8]>,
     write: Box<[u8]>,
 }
@@ -272,8 +326,15 @@ pub struct PreparedProgram {
     /// with it the DES virtual-time accounting) is bit-identical to the
     /// unoptimized program on every path and at every budget.
     pub(crate) weights: Box<[u32]>,
-    maps: Box<[Arc<Map>]>,
-    perm: CtxPerm,
+    pub(crate) maps: Box<[Arc<Map>]>,
+    pub(crate) perm: CtxPerm,
+    /// Tier policy for [`PreparedProgram::run`].
+    jit_mode: JitMode,
+    /// Interpreter invocations so far, for [`JitMode::Threshold`]. Stops
+    /// advancing once the compiled tier is built.
+    invocations: AtomicU64,
+    /// The compiled tier, built at most once per prepared program.
+    jit: OnceLock<crate::jit::JitProgram>,
 }
 
 impl std::fmt::Debug for PreparedProgram {
@@ -306,6 +367,19 @@ impl Program {
     /// optimizer passes ([`OptConfig::none`] disables them all, which is
     /// what differential tests compare against).
     pub fn prepare_with(&self, layout: &CtxLayout, opt: OptConfig) -> PreparedProgram {
+        self.prepare_with_jit(layout, opt, JitMode::default())
+    }
+
+    /// Like [`Program::prepare_with`], with an explicit tier-selection
+    /// override: [`JitMode::Off`] pins the prepared interpreter,
+    /// [`JitMode::Eager`] compiles on first run, and
+    /// [`JitMode::Threshold`] tunes the hot-invocation crossover.
+    pub fn prepare_with_jit(
+        &self,
+        layout: &CtxLayout,
+        opt: OptConfig,
+        jit_mode: JitMode,
+    ) -> PreparedProgram {
         let insns = self.insns();
         let len = insns.len();
         let mut code = Vec::with_capacity(len + 1);
@@ -458,6 +532,9 @@ impl Program {
             weights: weights.into_boxed_slice(),
             maps: self.maps().to_vec().into_boxed_slice(),
             perm: CtxPerm::build(layout),
+            jit_mode,
+            invocations: AtomicU64::new(0),
+            jit: OnceLock::new(),
         }
     }
 }
@@ -468,7 +545,7 @@ impl Program {
 /// the hot path never allocates; pathological programs spill to a `Vec`.
 const INLINE_REGIONS: usize = 16;
 
-struct Regions {
+pub(crate) struct Regions {
     inline: [(u32, u32); INLINE_REGIONS],
     len: usize,
     spill: Vec<(u32, u32)>,
@@ -486,7 +563,7 @@ impl Regions {
 
     /// Registers a region, returning its index.
     #[inline]
-    fn push(&mut self, map_idx: u32, slot: u32) -> u64 {
+    pub(crate) fn push(&mut self, map_idx: u32, slot: u32) -> u64 {
         let idx = self.len;
         if idx < INLINE_REGIONS {
             self.inline[idx] = (map_idx, slot);
@@ -498,7 +575,7 @@ impl Regions {
     }
 
     #[inline]
-    fn get(&self, idx: usize) -> Option<(u32, u32)> {
+    pub(crate) fn get(&self, idx: usize) -> Option<(u32, u32)> {
         if idx >= self.len {
             return None;
         }
@@ -510,50 +587,78 @@ impl Regions {
     }
 }
 
-struct Runner<'a> {
-    regs: [u64; 11],
-    stack: [u8; STACK_SIZE],
-    ctx: &'a mut [u8],
-    env: &'a dyn PolicyEnv,
-    maps: &'a [Arc<Map>],
-    perm: &'a CtxPerm,
-    regions: Regions,
+/// Per-run machine state, shared between the prepared interpreter loop
+/// and the [`crate::jit`] tier (which reuses the memory/helper methods so
+/// the two tiers cannot drift in fault semantics).
+pub(crate) struct Runner<'a> {
+    pub(crate) regs: [u64; 11],
+    pub(crate) stack: [u8; STACK_SIZE],
+    pub(crate) ctx: &'a mut [u8],
+    pub(crate) env: &'a dyn PolicyEnv,
+    pub(crate) maps: &'a [Arc<Map>],
+    pub(crate) perm: &'a CtxPerm,
+    pub(crate) regions: Regions,
 }
 
 #[inline]
-fn read_le(bytes: &[u8]) -> u64 {
+pub(crate) fn read_le(bytes: &[u8]) -> u64 {
     let mut b = [0u8; 8];
     b[..bytes.len()].copy_from_slice(bytes);
     u64::from_le_bytes(b)
 }
 
-impl Runner<'_> {
+impl<'a> Runner<'a> {
+    /// Registers and stack at program-entry state: everything zero except
+    /// the context pointer (`r1`, when a context exists) and the frame
+    /// pointer (`r10`).
+    pub(crate) fn new(
+        ctx: &'a mut [u8],
+        env: &'a dyn PolicyEnv,
+        maps: &'a [Arc<Map>],
+        perm: &'a CtxPerm,
+    ) -> Runner<'a> {
+        let mut m = Runner {
+            regs: [0u64; 11],
+            stack: [0; STACK_SIZE],
+            ctx,
+            env,
+            maps,
+            perm,
+            regions: Regions::new(),
+        };
+        if !m.ctx.is_empty() {
+            m.regs[1] = ptr(TAG_CTX, 0, 0);
+        }
+        m.regs[10] = ptr(TAG_STACK, 0, STACK_SIZE as u32);
+        m
+    }
+
     /// Reads register `r`.
     ///
     /// SAFETY contract: `prepare` only emits register indices `0..=10`,
     /// so the bound check is provably dead and elided.
     #[inline(always)]
-    fn reg(&self, r: u8) -> u64 {
+    pub(crate) fn reg(&self, r: u8) -> u64 {
         debug_assert!(r <= 10);
         unsafe { *self.regs.get_unchecked(r as usize) }
     }
 
     /// Writes register `r`; same prepare-time bound contract as [`Self::reg`].
     #[inline(always)]
-    fn set_reg(&mut self, r: u8, v: u64) {
+    pub(crate) fn set_reg(&mut self, r: u8, v: u64) {
         debug_assert!(r <= 10);
         unsafe { *self.regs.get_unchecked_mut(r as usize) = v }
     }
 
     #[inline(always)]
-    fn src(&self, s: PSrc) -> u64 {
+    pub(crate) fn src(&self, s: PSrc) -> u64 {
         match s {
             PSrc::Reg(r) => self.reg(r),
             PSrc::Imm(v) => v,
         }
     }
 
-    fn load(&mut self, pc: usize, addr: u64, size: MemSize) -> Result<u64, RunError> {
+    pub(crate) fn load(&mut self, pc: usize, addr: u64, size: MemSize) -> Result<u64, RunError> {
         let n = size.bytes();
         let off = ptr_off(addr) as usize;
         match ptr_tag(addr) {
@@ -583,7 +688,13 @@ impl Runner<'_> {
         }
     }
 
-    fn store(&mut self, pc: usize, addr: u64, size: MemSize, val: u64) -> Result<(), RunError> {
+    pub(crate) fn store(
+        &mut self,
+        pc: usize,
+        addr: u64,
+        size: MemSize,
+        val: u64,
+    ) -> Result<(), RunError> {
         let n = size.bytes();
         let off = ptr_off(addr) as usize;
         match ptr_tag(addr) {
@@ -621,7 +732,7 @@ impl Runner<'_> {
 
     /// `len` stack bytes at `addr` (no initialization tracking — the
     /// verifier guarantees helper buffers are written before use).
-    fn stack_bytes(&self, pc: usize, addr: u64, len: usize) -> Result<&[u8], RunError> {
+    pub(crate) fn stack_bytes(&self, pc: usize, addr: u64, len: usize) -> Result<&[u8], RunError> {
         if ptr_tag(addr) != TAG_STACK {
             return Err(RunError::BadAccess { pc, addr });
         }
@@ -635,7 +746,7 @@ impl Runner<'_> {
     /// Map helper dispatch, allocation-free: keys and values are stack
     /// borrows handed straight to the map, and a lookup hit registers a
     /// `(map, slot)` region in the inline table.
-    fn call_map(&mut self, pc: usize, op: MapOp, helper: u32) -> Result<u64, RunError> {
+    pub(crate) fn call_map(&mut self, pc: usize, op: MapOp, helper: u32) -> Result<u64, RunError> {
         let fault = |msg: &'static str| RunError::HelperFault { pc, helper, msg };
         let mref = self.regs[1];
         if ptr_tag(mref) != TAG_MAPREF {
@@ -726,7 +837,88 @@ impl PreparedProgram {
         self.run_inner(ctx, env, budget, injector)
     }
 
+    /// Runs a pinned tier regardless of [`JitMode`], with the default
+    /// fault plumbing disabled — for tier-differential tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedProgram::run`]; the tiers produce identical faults.
+    pub fn run_tier(
+        &self,
+        tier: ExecTier,
+        ctx: &mut [u8],
+        env: &dyn PolicyEnv,
+        budget: u64,
+    ) -> Result<RunReport, RunError> {
+        self.run_tier_with_faults(tier, ctx, env, budget, None)
+    }
+
+    /// [`PreparedProgram::run_tier`] with a [`FaultInjector`], consulted
+    /// at exactly the same points in both tiers.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedProgram::run_with_faults`].
+    pub fn run_tier_with_faults(
+        &self,
+        tier: ExecTier,
+        ctx: &mut [u8],
+        env: &dyn PolicyEnv,
+        budget: u64,
+        injector: Option<&FaultInjector>,
+    ) -> Result<RunReport, RunError> {
+        match tier {
+            ExecTier::Interp => self.run_interp(ctx, env, budget, injector),
+            ExecTier::Jit => {
+                let jit = self.jit.get_or_init(|| crate::jit::compile(self));
+                crate::jit::run(self, jit, ctx, env, budget, injector)
+            }
+        }
+    }
+
+    /// Compiles the [`crate::jit`] tier for this program, outside the
+    /// cached auto-selection path — lets benchmarks measure the one-time
+    /// compile cost repeatably.
+    pub fn compile_jit(&self) -> crate::jit::JitProgram {
+        crate::jit::compile(self)
+    }
+
+    /// Whether the compiled tier has been built (by auto selection or a
+    /// pinned [`ExecTier::Jit`] run).
+    pub fn jit_compiled(&self) -> bool {
+        self.jit.get().is_some()
+    }
+
+    /// Tier selection for the auto entry points: the compiled tier once
+    /// it exists or [`JitMode`] says to build it, the interpreter before
+    /// that.
+    #[inline]
+    fn use_jit(&self) -> bool {
+        match self.jit_mode {
+            JitMode::Off => false,
+            JitMode::Eager => true,
+            JitMode::Threshold(t) => {
+                self.jit.get().is_some()
+                    || self.invocations.fetch_add(1, Ordering::Relaxed) + 1 >= t
+            }
+        }
+    }
+
     fn run_inner(
+        &self,
+        ctx: &mut [u8],
+        env: &dyn PolicyEnv,
+        budget: u64,
+        injector: Option<&FaultInjector>,
+    ) -> Result<RunReport, RunError> {
+        if self.use_jit() {
+            let jit = self.jit.get_or_init(|| crate::jit::compile(self));
+            return crate::jit::run(self, jit, ctx, env, budget, injector);
+        }
+        self.run_interp(ctx, env, budget, injector)
+    }
+
+    fn run_interp(
         &self,
         ctx: &mut [u8],
         env: &dyn PolicyEnv,
@@ -738,19 +930,7 @@ impl PreparedProgram {
                 return Err(fault);
             }
         }
-        let mut m = Runner {
-            regs: [0u64; 11],
-            stack: [0; STACK_SIZE],
-            ctx,
-            env,
-            maps: &self.maps,
-            perm: &self.perm,
-            regions: Regions::new(),
-        };
-        if !m.ctx.is_empty() {
-            m.regs[1] = ptr(TAG_CTX, 0, 0);
-        }
-        m.regs[10] = ptr(TAG_STACK, 0, STACK_SIZE as u32);
+        let mut m = Runner::new(ctx, env, &self.maps, &self.perm);
         let code = &self.code;
         let weights = &self.weights;
         debug_assert_eq!(code.len(), weights.len());

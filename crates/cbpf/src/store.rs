@@ -30,6 +30,7 @@ use crate::verifier::{verify_with_rules, HookRules};
 pub struct VerifiedProgram {
     prog: Arc<Program>,
     layout: CtxLayout,
+    rules: HookRules,
     prepared: Arc<PreparedProgram>,
 }
 
@@ -45,8 +46,20 @@ impl VerifiedProgram {
         Ok(VerifiedProgram {
             prog: Arc::new(prog),
             layout: layout.clone(),
+            rules: rules.clone(),
             prepared: Arc::new(prepared),
         })
+    }
+
+    /// The hook rules the program was verified under.
+    pub fn rules(&self) -> &HookRules {
+        &self.rules
+    }
+
+    /// Serializes this verified policy into a [`crate::wire`] artifact,
+    /// sealed against exactly the layout and rules it verified under.
+    pub fn seal(&self) -> Vec<u8> {
+        crate::wire::seal(self, &self.rules)
     }
 
     /// The verified program.

@@ -19,7 +19,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use cbpf::ctx::{CtxLayout, FieldAccess};
-use cbpf::error::MapError;
+use cbpf::error::{FaultKind, MapError};
+use cbpf::fault::{FaultInjector, FaultPlan};
 use cbpf::helpers::{FixedEnv, HelperId};
 use cbpf::insn::{AluOp, Insn, JmpOp, MemSize, Operand, Reg};
 use cbpf::interp::run_with_budget;
@@ -27,6 +28,7 @@ use cbpf::map::{Map, MapDef, MapKind};
 use cbpf::opt::OptConfig;
 use cbpf::program::Program;
 use cbpf::verifier::verify;
+use cbpf::ExecTier;
 
 const BUDGET: u64 = 1 << 16;
 
@@ -330,6 +332,169 @@ proptest! {
                 prop_assert_eq!(&legacy, &opt, "optimizer {:?} budget behavior diverges", cfg);
                 prop_assert_eq!(&ctx_legacy, &ctx_opt, "optimizer {:?} partial effects diverge", cfg);
             }
+        }
+    }
+
+    /// The compiled tier ([`cbpf::jit`]) is observationally identical to
+    /// the prepared interpreter on arbitrary verified programs: same
+    /// report (value and executed-instruction count), same fault, same
+    /// context mutations, at full budget.
+    #[test]
+    fn jit_matches_interp_report_and_ctx(
+        prog in program_strategy(),
+        cpu in 0u32..128,
+        numa in 0u32..8,
+        time in any::<u64>(),
+        pid in any::<u64>(),
+        ctx_seed in any::<u64>(),
+    ) {
+        let layout = test_layout();
+        if verify(&prog, &layout).is_ok() {
+            let env = FixedEnv::new().cpu(cpu).numa(numa).time(time).with_pid(pid);
+            let prepared = prog.prepare(&layout);
+            let mut ctx_interp = fill_ctx(&layout, ctx_seed);
+            let interp = prepared.run_tier(ExecTier::Interp, &mut ctx_interp, &env, BUDGET);
+            let mut ctx_jit = fill_ctx(&layout, ctx_seed);
+            let jit = prepared.run_tier(ExecTier::Jit, &mut ctx_jit, &env, BUDGET);
+            prop_assert_eq!(&interp, &jit, "jit report diverges from interpreter");
+            prop_assert_eq!(&ctx_interp, &ctx_jit, "jit context effects diverge");
+        }
+    }
+
+    /// Map programs on the compiled tier: identical final map contents
+    /// and env traces. Exercises the jit's region-tracked value access,
+    /// constant-key lookup caching and RMW fusion against the
+    /// interpreter's generic paths.
+    #[test]
+    fn jit_preserves_map_side_effects(
+        body in proptest::collection::vec(insn_strategy(), 1..16),
+        key in 0i32..4,
+    ) {
+        let build = |map: Arc<Map>| {
+            let mut insns = vec![
+                Insn::LdMapRef { dst: Reg::R1, map_id: 0 },
+                Insn::Store { size: MemSize::W, base: Reg::R10, off: -4, src: Operand::Imm(key) },
+                Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R2, src: Operand::Reg(Reg::R10) },
+                Insn::Alu { wide: true, op: AluOp::Add, dst: Reg::R2, src: Operand::Imm(-4) },
+                Insn::Call { helper: HelperId::MapLookup as u32 },
+            ];
+            insns.extend(body.iter().cloned());
+            insns.push(Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R0, src: Operand::Imm(0) });
+            insns.push(Insn::Exit);
+            Program::new("fuzzjit", insns, vec![map])
+        };
+        let map_interp = seeded_map();
+        let prog_interp = build(Arc::clone(&map_interp));
+        if verify(&prog_interp, &CtxLayout::empty()).is_ok() {
+            let env_interp = FixedEnv::new();
+            let interp = prog_interp
+                .prepare(&CtxLayout::empty())
+                .run_tier(ExecTier::Interp, &mut [], &env_interp, BUDGET);
+
+            let map_jit = seeded_map();
+            let env_jit = FixedEnv::new();
+            let jit = build(Arc::clone(&map_jit))
+                .prepare(&CtxLayout::empty())
+                .run_tier(ExecTier::Jit, &mut [], &env_jit, BUDGET);
+            prop_assert_eq!(&interp, &jit, "jit report diverges");
+            prop_assert_eq!(
+                &map_snapshot(&map_interp),
+                &map_snapshot(&map_jit),
+                "jit map effects diverge"
+            );
+            prop_assert_eq!(env_interp.traces(), env_jit.traces(), "jit traces diverge");
+        }
+    }
+
+    /// Tiny budgets on the compiled tier: jit steps pre-charge whole
+    /// pure-prefix groups, so exhaustion must fire at exactly the same
+    /// budgets with the same partial context effects as the interpreter.
+    #[test]
+    fn jit_budget_accounting_is_exact(
+        prog in program_strategy(),
+        budget in 0u64..24,
+        ctx_seed in any::<u64>(),
+    ) {
+        let layout = test_layout();
+        if verify(&prog, &layout).is_ok() {
+            let env = FixedEnv::new();
+            let prepared = prog.prepare(&layout);
+            let mut ctx_interp = fill_ctx(&layout, ctx_seed);
+            let interp = prepared.run_tier(ExecTier::Interp, &mut ctx_interp, &env, budget);
+            let mut ctx_jit = fill_ctx(&layout, ctx_seed);
+            let jit = prepared.run_tier(ExecTier::Jit, &mut ctx_jit, &env, budget);
+            prop_assert_eq!(&interp, &jit, "jit budget behavior diverges");
+            prop_assert_eq!(&ctx_interp, &ctx_jit, "jit partial effects diverge");
+        }
+    }
+
+    /// Deterministic fault injection hits both tiers identically: the
+    /// same plan (seed, invocation trigger, helper rate) against the
+    /// same invocation sequence produces the same faults at the same
+    /// invocations, and the same map/trace state afterwards.
+    #[test]
+    fn jit_fault_injection_parity(
+        body in proptest::collection::vec(insn_strategy(), 1..16),
+        key in 0i32..4,
+        seed in any::<u64>(),
+        trigger in 1u64..8,
+        per_mille in 0u16..1000,
+        kind_ix in 0usize..4,
+        invocations in 1usize..12,
+    ) {
+        let kind = [FaultKind::Budget, FaultKind::Trap, FaultKind::Helper, FaultKind::Map][kind_ix];
+        let build = |map: Arc<Map>| {
+            let mut insns = vec![
+                Insn::LdMapRef { dst: Reg::R1, map_id: 0 },
+                Insn::Store { size: MemSize::W, base: Reg::R10, off: -4, src: Operand::Imm(key) },
+                Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R2, src: Operand::Reg(Reg::R10) },
+                Insn::Alu { wide: true, op: AluOp::Add, dst: Reg::R2, src: Operand::Imm(-4) },
+                Insn::Call { helper: HelperId::MapLookup as u32 },
+            ];
+            insns.extend(body.iter().cloned());
+            insns.push(Insn::Alu { wide: true, op: AluOp::Mov, dst: Reg::R0, src: Operand::Imm(0) });
+            insns.push(Insn::Exit);
+            Program::new("fuzzfault", insns, vec![map])
+        };
+        let map_interp = seeded_map();
+        let prog_interp = build(Arc::clone(&map_interp));
+        if verify(&prog_interp, &CtxLayout::empty()).is_ok() {
+            let plan = FaultPlan {
+                seed,
+                fault_on_invocation: Some(trigger),
+                repeat: false,
+                helper_fault_per_mille: per_mille,
+                kind,
+            };
+            let env_interp = FixedEnv::new();
+            let inj_interp = FaultInjector::new(plan.clone());
+            let prepared_interp = prog_interp.prepare(&CtxLayout::empty());
+            let mut got_interp = Vec::with_capacity(invocations);
+            for _ in 0..invocations {
+                got_interp.push(prepared_interp.run_tier_with_faults(
+                    ExecTier::Interp, &mut [], &env_interp, BUDGET, Some(&inj_interp),
+                ));
+            }
+
+            let map_jit = seeded_map();
+            let env_jit = FixedEnv::new();
+            let inj_jit = FaultInjector::new(plan);
+            let prepared_jit = build(Arc::clone(&map_jit)).prepare(&CtxLayout::empty());
+            let mut got_jit = Vec::with_capacity(invocations);
+            for _ in 0..invocations {
+                got_jit.push(prepared_jit.run_tier_with_faults(
+                    ExecTier::Jit, &mut [], &env_jit, BUDGET, Some(&inj_jit),
+                ));
+            }
+
+            prop_assert_eq!(&got_interp, &got_jit, "injected fault sequences diverge");
+            prop_assert_eq!(inj_interp.injected(), inj_jit.injected(), "injection counts diverge");
+            prop_assert_eq!(
+                &map_snapshot(&map_interp),
+                &map_snapshot(&map_jit),
+                "post-fault map state diverges"
+            );
+            prop_assert_eq!(env_interp.traces(), env_jit.traces(), "post-fault traces diverge");
         }
     }
 

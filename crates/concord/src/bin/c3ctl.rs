@@ -14,6 +14,8 @@
 //! ```text
 //! locks                          list registered locks
 //! load <name> <hook> <file>     compile + verify + store a policy
+//! policy compile <hook> <src> <out>  compile + verify + seal a wire artifact
+//! policy load <name> <hook> <file>   open + re-verify a wire artifact
 //! loadsrc <name> <hook> <c-src> one-line C policy, e.g. `return 1;`
 //! attach <lock> <policy>        livepatch a loaded policy into a lock
 //! detach                        revert the most recent patch
@@ -38,7 +40,7 @@
 //! help | quit
 //! ```
 //!
-//! The `rollout`, `quarantines <lock>` and `explore` families report
+//! The `rollout`, `quarantines <lock>`, `explore` and `policy` families report
 //! **typed** errors and, in scripted mode, make the process exit nonzero
 //! on failure — they are the commands CI gates on. Legacy commands keep
 //! the historical always-exit-0 contract.
@@ -52,14 +54,16 @@ use std::fmt;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
+use cbpf::store::VerifiedProgram;
+use concord::hookctx;
 use concord::profiler::Profiler;
 use concord::rollout::{
     BreakerMap, ChaosInjector, HealthConfig, MetricsHealth, RealTarget, RecoverOutcome, Rollout,
     RolloutLog, RolloutOutcome, RolloutPlan, WaveOutcome,
 };
 use concord::{
-    explore, BreakerConfig, Concord, ExploreConfig, ExploreError, Fixture, LoadedPolicy,
-    PolicySpec, Repro, RolloutError, StrategySpec,
+    explore, BreakerConfig, Concord, ConcordError, ExploreConfig, ExploreError, Fixture,
+    LoadedPolicy, PolicySpec, Repro, RolloutError, StrategySpec,
 };
 use locks::hooks::HookKind;
 use locks::{Bravo, NeutralRwLock, RawLock, ShflLock, ShflMutex};
@@ -72,8 +76,14 @@ enum CtlError {
     Usage(&'static str),
     UnknownLock(String),
     UnknownPolicy(String),
+    UnknownHook(String),
     Rollout(RolloutError),
     Explore(ExploreError),
+    /// A wire artifact failed to open (tamper, context drift, or
+    /// re-verification failure on this host).
+    Wire(cbpf::WireError),
+    /// Compile/verify failure on the `policy` surface.
+    Policy(ConcordError),
     Io(String),
 }
 
@@ -85,8 +95,11 @@ impl fmt::Display for CtlError {
             CtlError::UnknownPolicy(p) => {
                 write!(f, "no loaded policy `{p}` (use `load` first)")
             }
+            CtlError::UnknownHook(h) => write!(f, "unknown hook `{h}`"),
             CtlError::Rollout(e) => write!(f, "{e}"),
             CtlError::Explore(e) => write!(f, "{e}"),
+            CtlError::Wire(e) => write!(f, "wire artifact rejected: {e}"),
+            CtlError::Policy(e) => write!(f, "{e}"),
             CtlError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -172,7 +185,7 @@ impl Ctl {
         let result = match cmd {
             "quit" | "exit" => return false,
             "help" => {
-                println!("commands: locks load loadsrc attach detach patches profile report unprofile hammer stats store quarantines rollout trace metrics top quit");
+                println!("commands: locks load loadsrc policy attach detach patches profile report unprofile hammer stats store quarantines rollout trace metrics top quit");
                 Ok(())
             }
             "locks" => {
@@ -231,6 +244,10 @@ impl Ctl {
             "explore" => {
                 let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
                 self.typed(Self::cmd_explore, &rest)
+            }
+            "policy" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.typed(Self::cmd_policy, &rest)
             }
             "hammer" => self.cmd_hammer(parts.next(), parts.next(), parts.next()),
             "stats" => self.cmd_stats(parts.next()),
@@ -502,6 +519,76 @@ impl Ctl {
                     "  replayed {}: {} reproduced, trace {:#x} (pinned), {} point(s) visited",
                     repro.fixture, repro.violation, out.trace_hash, out.points
                 );
+                Ok(())
+            }
+            _ => Err(CtlError::Usage(USAGE)),
+        }
+    }
+
+    /// `policy compile|load` — the compiled-policy wire-format surface.
+    ///
+    /// `compile` is the host side: source → verify → seal to an
+    /// artifact. `load` is the runtime side: open re-checks checksum,
+    /// version and verification digest, then re-runs the verifier on
+    /// this host's layout and rules before anything is pinned — a
+    /// tampered or cross-hook artifact dies with a typed error and a
+    /// nonzero scripted exit.
+    fn cmd_policy(&mut self, rest: &[&str]) -> Result<(), CtlError> {
+        const USAGE: &str = "policy compile <hook> <src.c|src.s> <out> | \
+             policy load <name> <hook> <artifact>";
+        match rest {
+            ["compile", hook, src, out] => {
+                let kind = hook_by_name(hook)
+                    .ok_or_else(|| CtlError::UnknownHook((*hook).to_string()))?;
+                let text = std::fs::read_to_string(src)
+                    .map_err(|e| CtlError::Io(format!("read {src}: {e}")))?;
+                let name = std::path::Path::new(src)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("policy");
+                let layout = hookctx::layout_for(kind);
+                let program = if src.ends_with(".c") {
+                    cbpf::dsl::compile(name, &text, layout)
+                        .map_err(|e| CtlError::Policy(ConcordError::Asm(e)))?
+                } else {
+                    cbpf::asm::assemble_named(name, &text, &[])
+                        .map_err(|e| CtlError::Policy(ConcordError::Asm(e)))?
+                };
+                let rules = hookctx::rules_for(kind);
+                let verified = VerifiedProgram::new(program, layout, &rules)
+                    .map_err(|e| CtlError::Policy(ConcordError::Verify(e)))?;
+                let bytes = verified.seal();
+                std::fs::write(out, &bytes)
+                    .map_err(|e| CtlError::Io(format!("write {out}: {e}")))?;
+                println!(
+                    "  compiled {src} for {}: sealed {} bytes to {out}",
+                    kind.name(),
+                    bytes.len()
+                );
+                Ok(())
+            }
+            ["load", name, hook, file] => {
+                let kind = hook_by_name(hook)
+                    .ok_or_else(|| CtlError::UnknownHook((*hook).to_string()))?;
+                let bytes = std::fs::read(file)
+                    .map_err(|e| CtlError::Io(format!("read {file}: {e}")))?;
+                let opened =
+                    cbpf::wire::open(&bytes, hookctx::layout_for(kind), &hookctx::rules_for(kind))
+                        .map_err(CtlError::Wire)?;
+                // Hand the re-verified program to the normal load path so
+                // pinning and map registration behave exactly like `load`.
+                let p = opened.program();
+                let spec = PolicySpec::from_program(
+                    name,
+                    kind,
+                    cbpf::Program::new(p.name().to_string(), p.insns().to_vec(), p.maps().to_vec()),
+                );
+                let loaded = self.concord.load(spec).map_err(CtlError::Policy)?;
+                println!(
+                    "  opened {file}: verified and pinned policies/{name}/{}",
+                    kind.name()
+                );
+                self.loaded.insert(name.to_string(), loaded);
                 Ok(())
             }
             _ => Err(CtlError::Usage(USAGE)),

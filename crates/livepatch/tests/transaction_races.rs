@@ -13,7 +13,7 @@
 //!   every slot on its pre-transaction value even while readers race the
 //!   unwind.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use livepatch::{Patch, PatchManager, PatchPoint};
@@ -39,11 +39,16 @@ fn transactions_race_dispatch_untorn_and_monotonic() {
         .collect();
     let mgr = Arc::new(PatchManager::new());
     let stop = Arc::new(AtomicBool::new(false));
+    // Readers that have completed at least one sweep: the main thread
+    // waits for all of them before stopping, so a reader thread that is
+    // scheduled late (the rounds loop is fast) still dispatches.
+    let started = Arc::new(AtomicU64::new(0));
 
     let readers: Vec<_> = (0..READERS)
         .map(|_| {
             let points = points.clone();
             let stop = Arc::clone(&stop);
+            let started = Arc::clone(&started);
             std::thread::spawn(move || {
                 let mut last_gen = vec![0u64; points.len()];
                 let mut observations = 0u64;
@@ -61,6 +66,9 @@ fn transactions_race_dispatch_untorn_and_monotonic() {
                         );
                         last_gen[i] = g1;
                         observations += 1;
+                    }
+                    if observations == points.len() as u64 {
+                        started.fetch_add(1, Ordering::Release);
                     }
                 }
                 observations
@@ -107,6 +115,11 @@ fn transactions_race_dispatch_untorn_and_monotonic() {
         assert!(mgr.live().is_empty(), "round {round} leaked patches");
     }
 
+    // Keep the patch points quiescent (baseline values) until every
+    // reader has raced at least one sweep.
+    while started.load(Ordering::Acquire) < READERS as u64 {
+        std::thread::yield_now();
+    }
     stop.store(true, Ordering::Release);
     for r in readers {
         let seen = r.join().expect("reader panicked");

@@ -93,4 +93,40 @@ if ./target/release/c3ctl "$explore_fail_script" >/dev/null 2>&1; then
 fi
 echo "c3ctl explore smoke ok"
 
+# Wire-format smoke: compile a policy to a sealed artifact, load it back
+# through the wire path (checksum + digest + re-verify), attach it; then
+# require a tampered artifact to be rejected with a nonzero exit.
+echo "== c3ctl policy wire smoke =="
+policy_src="$(mktemp --suffix=.c)"
+policy_art="$(mktemp)"
+policy_script="$(mktemp)"
+policy_fail_script="$(mktemp)"
+trap 'rm -f "$trace_script" "$rollout_script" "$rollout_fail_script" \
+    "$explore_script" "$explore_fail_script" "$explore_repro" \
+    "$policy_src" "$policy_art" "$policy_script" "$policy_fail_script"' EXIT
+printf 'return 1;\n' > "$policy_src"
+printf '%s\n' \
+    "policy compile cmp_node $policy_src $policy_art" \
+    "policy load wired cmp_node $policy_art" \
+    'attach mmap_sem wired' \
+    'detach' \
+    'quit' > "$policy_script"
+policy_out="$(./target/release/c3ctl "$policy_script")"
+if ! grep -q 'verified and pinned policies/wired' <<< "$policy_out"; then
+    echo "c3ctl policy wire smoke FAILED: sealed artifact did not load:" >&2
+    echo "$policy_out" >&2
+    exit 1
+fi
+# Corrupt one header byte (version LSB, always 0x01 when sealed): the
+# load must fail the whole-artifact checksum and exit nonzero.
+printf '\x09' | dd of="$policy_art" bs=1 seek=4 count=1 conv=notrunc status=none
+printf '%s\n' \
+    "policy load tampered cmp_node $policy_art" \
+    'quit' > "$policy_fail_script"
+if ./target/release/c3ctl "$policy_fail_script" >/dev/null 2>&1; then
+    echo "c3ctl policy wire smoke FAILED: tampered artifact exited zero" >&2
+    exit 1
+fi
+echo "c3ctl policy wire smoke ok"
+
 echo "smoke ok: csvs in $C3_RESULTS_DIR"
