@@ -30,6 +30,7 @@ fn bench_patchpoint(c: &mut Criterion) {
         cpu: 0,
         socket: 0,
         now_ns: 0,
+        owner_tid: 0,
     };
     g.bench_function("vacant_hook_fire", |b| {
         b.iter(|| hooks.fire_event(locks::hooks::HookKind::LockAcquired, &ctx))

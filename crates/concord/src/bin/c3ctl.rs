@@ -23,12 +23,21 @@
 //! profile <lock> [<lock>…]      start profiling the given locks
 //! report                        print the profiler report
 //! unprofile                     stop profiling
-//! hammer <lock> <threads> <n>   acquire/release n times on each thread
+//! hammer <lock> <threads> <n> [hold_us]  acquire/release n times on each
+//!                               thread, optionally spinning hold_us µs
+//!                               inside the critical section to force
+//!                               queueing (and so contended-wait traces)
 //! stats <lock>                  shuffle/park statistics
 //! store                         list pinned objects
-//! trace [on|off|tail [n]|json]  arm/disarm/inspect the trace plane
+//! trace [on|off|tail [n]|json|save <file>]  arm/disarm/inspect/save the plane
+//!   trace tail [n] [--since <ns>] [--lock <name|id>] [--event <kind>]
 //! metrics                       dump the metrics registry (Prometheus text)
 //! top                           rank locks by trace-plane slow-path activity
+//! analyze [<trace-file>]        contention analysis (live drain or saved file)
+//! analyze on|off|step           arm/disarm/advance the continuous analyzer
+//! blame                         per-(lock, tenant, policy) caused/suffered wait
+//! chains                        blocking chains ranked by blocked nanoseconds
+//! flame [<out-file>]            flamegraph collapsed stacks for the chains
 //! rollout start <policy> <lock>… staged delivery: canary → 50% → full
 //! rollout promote               apply + judge the next wave
 //! rollout status                where the rollout stands
@@ -40,10 +49,11 @@
 //! help | quit
 //! ```
 //!
-//! The `rollout`, `quarantines <lock>`, `explore` and `policy` families report
-//! **typed** errors and, in scripted mode, make the process exit nonzero
-//! on failure — they are the commands CI gates on. Legacy commands keep
-//! the historical always-exit-0 contract.
+//! The `rollout`, `quarantines <lock>`, `explore`, `policy`, `analyze`,
+//! `blame`, `chains` and `flame` families report **typed** errors and, in
+//! scripted mode, make the process exit nonzero on failure — they are the
+//! commands CI gates on. Legacy commands keep the historical
+//! always-exit-0 contract.
 //!
 //! Setting `C3_TRACE=1` in the environment arms the trace plane at
 //! startup, so every lock transition, hook span and policy-emitted event
@@ -84,6 +94,9 @@ enum CtlError {
     Wire(cbpf::WireError),
     /// Compile/verify failure on the `policy` surface.
     Policy(ConcordError),
+    /// A trace failed to parse or the analysis surface was misused
+    /// (e.g. `blame` before any `analyze`).
+    Analyze(String),
     Io(String),
 }
 
@@ -100,6 +113,7 @@ impl fmt::Display for CtlError {
             CtlError::Explore(e) => write!(f, "{e}"),
             CtlError::Wire(e) => write!(f, "wire artifact rejected: {e}"),
             CtlError::Policy(e) => write!(f, "{e}"),
+            CtlError::Analyze(e) => write!(f, "{e}"),
             CtlError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -133,6 +147,9 @@ struct Ctl {
     patches: Vec<concord::AttachHandle>,
     profiler: Option<Profiler>,
     rollout: Option<CtlRollout>,
+    /// Result of the most recent `analyze`, backing the `blame`,
+    /// `chains` and `flame` views.
+    last_report: Option<telemetry::Report>,
     next_generation: u64,
     /// A typed (`rollout`/`quarantines`) command failed; scripted mode
     /// exits nonzero.
@@ -170,6 +187,7 @@ impl Ctl {
             patches: Vec::new(),
             profiler: None,
             rollout: None,
+            last_report: None,
             next_generation: 0,
             failed: false,
         }
@@ -185,7 +203,7 @@ impl Ctl {
         let result = match cmd {
             "quit" | "exit" => return false,
             "help" => {
-                println!("commands: locks load loadsrc policy attach detach patches profile report unprofile hammer stats store quarantines rollout trace metrics top quit");
+                println!("commands: locks load loadsrc policy attach detach patches profile report unprofile hammer stats store quarantines rollout trace metrics top analyze blame chains flame quit");
                 Ok(())
             }
             "locks" => {
@@ -214,7 +232,14 @@ impl Ctl {
             }
             "report" => {
                 match &self.profiler {
-                    Some(p) => print!("{}", p.report()),
+                    Some(p) => {
+                        print!("{}", p.report());
+                        // If a contention analysis has run, join the two
+                        // views for the profiled locks.
+                        if let Some(r) = &self.last_report {
+                            print!("{}", p.contention_report(r));
+                        }
+                    }
                     None => println!("  (no profiling session)"),
                 }
                 Ok(())
@@ -249,16 +274,29 @@ impl Ctl {
                 let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
                 self.typed(Self::cmd_policy, &rest)
             }
-            "hammer" => self.cmd_hammer(parts.next(), parts.next(), parts.next()),
+            "hammer" => {
+                // splitn(4) would glue iters and hold_us together.
+                let mut words = line.split_whitespace().skip(1);
+                self.cmd_hammer(words.next(), words.next(), words.next(), words.next())
+            }
             "stats" => self.cmd_stats(parts.next()),
-            "trace" => self.cmd_trace(parts.next(), parts.next()),
+            "trace" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.cmd_trace(&rest)
+            }
+            "analyze" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.typed(Self::cmd_analyze, &rest)
+            }
+            "blame" => self.typed(Self::cmd_blame, ()),
+            "chains" => self.typed(Self::cmd_chains, ()),
+            "flame" => self.typed(Self::cmd_flame, parts.next()),
             "metrics" => {
                 // Refresh the plane gauges so the dump always carries the
                 // trace-plane state alongside the control-plane counters.
                 let m = telemetry::metrics();
                 m.gauge("c3_trace_armed").set(i64::from(telemetry::armed()));
-                m.gauge("c3_trace_dropped_total")
-                    .set(telemetry::dropped() as i64);
+                telemetry::sync_dropped_counter();
                 print!("{}", m.render_prometheus());
                 Ok(())
             }
@@ -682,6 +720,7 @@ impl Ctl {
         lock: Option<&str>,
         threads: Option<&str>,
         iters: Option<&str>,
+        hold_us: Option<&str>,
     ) -> Result<(), String> {
         let (name, threads, iters) = match (lock, threads, iters) {
             (Some(l), Some(t), Some(n)) => (
@@ -689,7 +728,22 @@ impl Ctl {
                 t.parse::<u32>().map_err(|e| e.to_string())?,
                 n.parse::<u64>().map_err(|e| e.to_string())?,
             ),
-            _ => return Err("usage: hammer <lock> <threads> <iters>".into()),
+            _ => return Err("usage: hammer <lock> <threads> <iters> [hold_us]".into()),
+        };
+        let hold_us = match hold_us {
+            Some(h) => h.parse::<u64>().map_err(|e| e.to_string())?,
+            None => 0,
+        };
+        // Spinning (rather than sleeping) inside the critical section keeps
+        // the holder on-CPU, so waiters reliably hit the contended slow
+        // path even on one core — the analyzer smoke depends on that.
+        let hold = move || {
+            if hold_us > 0 {
+                let end = std::time::Instant::now() + std::time::Duration::from_micros(hold_us);
+                while std::time::Instant::now() < end {
+                    std::hint::spin_loop();
+                }
+            }
         };
         let start = std::time::Instant::now();
         if let Some(l) = self.shfl.get(name) {
@@ -699,7 +753,9 @@ impl Ctl {
                 hs.push(std::thread::spawn(move || {
                     locks::topo::pin_thread((t * 10) % 80);
                     for _ in 0..iters {
-                        let _g = l.lock();
+                        let g = l.lock();
+                        hold();
+                        drop(g);
                     }
                 }));
             }
@@ -713,7 +769,9 @@ impl Ctl {
                 hs.push(std::thread::spawn(move || {
                     locks::topo::pin_thread((t * 10) % 80);
                     for _ in 0..iters {
-                        let _g = l.lock();
+                        let g = l.lock();
+                        hold();
+                        drop(g);
                     }
                 }));
             }
@@ -731,8 +789,18 @@ impl Ctl {
         Ok(())
     }
 
-    fn cmd_trace(&mut self, sub: Option<&str>, arg: Option<&str>) -> Result<(), String> {
-        match sub {
+    /// Resolve a `--lock` filter operand: a registered lock name, or a
+    /// literal numeric id for locks outside the demo registry.
+    fn lock_id_of(&self, s: &str) -> Result<u64, String> {
+        if let Some(h) = self.concord.registry().get(s) {
+            return Ok(h.id());
+        }
+        s.parse::<u64>()
+            .map_err(|_| format!("unknown lock `{s}` (not a registered name or numeric id)"))
+    }
+
+    fn cmd_trace(&mut self, rest: &[&str]) -> Result<(), String> {
+        match rest.first().copied() {
             Some("on") => {
                 telemetry::set_armed(true);
                 println!("  trace plane armed");
@@ -744,15 +812,43 @@ impl Ctl {
                 Ok(())
             }
             Some("tail") => {
-                let n = match arg {
-                    Some(s) => s.parse::<usize>().map_err(|e| e.to_string())?,
-                    None => 32,
-                };
-                let events = telemetry::snapshot_last(n);
-                if events.is_empty() {
-                    println!("  (no trace events — arm with `trace on` and drive load)");
+                let mut n = 32usize;
+                let mut filter = telemetry::EventFilter::default();
+                let mut it = rest[1..].iter();
+                while let Some(tok) = it.next() {
+                    match *tok {
+                        "--since" => {
+                            let v = it.next().ok_or("--since needs <ns>")?;
+                            filter.since_ns =
+                                Some(v.parse().map_err(|e| format!("--since: {e}"))?);
+                        }
+                        "--lock" => {
+                            let v = it.next().ok_or("--lock needs <name|id>")?;
+                            filter.lock = Some(self.lock_id_of(v)?);
+                        }
+                        "--event" => {
+                            let v = it.next().ok_or("--event needs <kind>")?;
+                            filter.kind = Some(
+                                telemetry::EventKind::from_name(v)
+                                    .ok_or_else(|| format!("unknown event kind `{v}`"))?,
+                            );
+                        }
+                        tok => {
+                            n = tok.parse().map_err(|_| {
+                                format!("unexpected `{tok}` (want a count or --since/--lock/--event)")
+                            })?;
+                        }
+                    }
                 }
-                for ev in &events {
+                let events: Vec<_> = telemetry::snapshot_last(usize::MAX)
+                    .into_iter()
+                    .filter(|ev| filter.admits(ev))
+                    .collect();
+                if events.is_empty() {
+                    println!("  (no matching trace events — arm with `trace on` and drive load)");
+                }
+                let skip = events.len().saturating_sub(n);
+                for ev in &events[skip..] {
                     println!("  {}", ev.render());
                 }
                 Ok(())
@@ -763,18 +859,198 @@ impl Ctl {
                 println!("{}", telemetry::export::to_chrome_json(&events));
                 Ok(())
             }
+            Some("save") => {
+                let file = rest.get(1).ok_or("usage: trace save <file>")?;
+                // Drain (consume) into the flat binary record format that
+                // `analyze <file>` reads back.
+                let events = telemetry::drain();
+                let mut bytes = Vec::with_capacity(events.len() * telemetry::EVENT_BYTES);
+                for ev in &events {
+                    bytes.extend_from_slice(&ev.to_bytes());
+                }
+                std::fs::write(file, &bytes).map_err(|e| format!("write {file}: {e}"))?;
+                println!("  saved {} event(s) to {file}", events.len());
+                Ok(())
+            }
             None | Some("status") => {
                 println!(
                     "  armed={} dropped={}",
                     telemetry::armed(),
                     telemetry::dropped()
                 );
+                println!(
+                    "  dropped events (ring overwrite): {} — mirrored to c3_trace_dropped_total; \
+                     analysis of a lossy trace reports lower-bound attribution",
+                    telemetry::dropped()
+                );
+                println!(
+                    "  continuous analyzer: armed={} windows={}",
+                    telemetry::analyze::continuous_armed(),
+                    telemetry::analyze::continuous().windows()
+                );
                 Ok(())
             }
             Some(other) => Err(format!(
-                "unknown trace subcommand `{other}` (on|off|tail [n]|json|status)"
+                "unknown trace subcommand `{other}` (on|off|tail [n]|json|save <file>|status)"
             )),
         }
+    }
+
+    /// Shared analysis configuration: every registered lock's id→name
+    /// mapping, so reports and patch-label policy attribution use the
+    /// same names the operator typed.
+    fn analyze_cfg(&self) -> telemetry::AnalyzeConfig {
+        let mut cfg = telemetry::AnalyzeConfig::default();
+        for name in self.concord.registry().names() {
+            if let Some(h) = self.concord.registry().get(&name) {
+                cfg.lock_names.insert(h.id(), name);
+            }
+        }
+        cfg
+    }
+
+    /// `analyze [<file>] | on | off | step` — the contention-analysis
+    /// surface. A typed command: a truncated or corrupt trace file makes
+    /// scripted mode exit nonzero.
+    fn cmd_analyze(&mut self, rest: &[&str]) -> Result<(), CtlError> {
+        const USAGE: &str = "analyze [<trace-file>] | analyze on|off|step";
+        match rest {
+            ["on"] => {
+                telemetry::analyze::continuous().configure(self.analyze_cfg());
+                telemetry::analyze::set_continuous_armed(true);
+                println!("  continuous analyzer armed (advance windows with `analyze step`)");
+                Ok(())
+            }
+            ["off"] => {
+                telemetry::analyze::set_continuous_armed(false);
+                println!("  continuous analyzer disarmed");
+                Ok(())
+            }
+            ["step"] => {
+                match telemetry::analyze::continuous().step() {
+                    Some(r) => {
+                        println!(
+                            "  window {}: {} events, {} locks, wait={}ns, attribution={}",
+                            telemetry::analyze::continuous().windows(),
+                            r.events,
+                            r.locks.len(),
+                            r.total_wait_ns(),
+                            if r.exact() { "exact" } else { "lower-bound" },
+                        );
+                        self.last_report = Some(r);
+                    }
+                    None => println!("  continuous analyzer is disarmed (use `analyze on`)"),
+                }
+                Ok(())
+            }
+            [] => {
+                // Live mode: drain (consume) the plane and analyze it.
+                let events = telemetry::drain();
+                let report = telemetry::analyze::analyze(&events, self.analyze_cfg());
+                print!("{}", report.render());
+                self.last_report = Some(report);
+                Ok(())
+            }
+            [file] => {
+                let bytes = std::fs::read(file)
+                    .map_err(|e| CtlError::Io(format!("read {file}: {e}")))?;
+                let events = telemetry::analyze::read_trace(&bytes)
+                    .map_err(|e| CtlError::Analyze(format!("{file}: {e}")))?;
+                let report = telemetry::analyze::analyze(&events, self.analyze_cfg());
+                print!("{}", report.render());
+                self.last_report = Some(report);
+                Ok(())
+            }
+            _ => Err(CtlError::Usage(USAGE)),
+        }
+    }
+
+    fn last_report(&self) -> Result<&telemetry::Report, CtlError> {
+        self.last_report
+            .as_ref()
+            .ok_or_else(|| CtlError::Analyze("no analysis yet (run `analyze` first)".into()))
+    }
+
+    /// Blame view over the last analysis: caused/suffered wait per
+    /// (lock, tenant, policy), ranked by caused nanoseconds.
+    fn cmd_blame(&mut self, (): ()) -> Result<(), CtlError> {
+        let r = self.last_report()?;
+        let mut any = false;
+        for l in r.locks.values() {
+            // One ranked table per lock; keys are the union of both sides.
+            let mut keys: Vec<&(u64, String)> =
+                l.caused.keys().chain(l.suffered.keys()).collect();
+            keys.sort();
+            keys.dedup();
+            let mut rows: Vec<(&(u64, String), u64, u64)> = keys
+                .into_iter()
+                .map(|k| {
+                    (
+                        k,
+                        l.caused.get(k).copied().unwrap_or(0),
+                        l.suffered.get(k).copied().unwrap_or(0),
+                    )
+                })
+                .collect();
+            rows.sort_by(|a, b| (b.1, b.2).cmp(&(a.1, a.2)).then_with(|| a.0.cmp(b.0)));
+            if rows.is_empty() {
+                continue;
+            }
+            any = true;
+            println!(
+                "  {:<12} wait={}ns ({} completed waits)",
+                l.name, l.wait_ns, l.completed_waits
+            );
+            for ((tenant, policy), caused, suffered) in rows {
+                let tenant = if *tenant == telemetry::analyze::HANDOFF_TENANT {
+                    "handoff".to_string()
+                } else {
+                    format!("{tenant}")
+                };
+                println!(
+                    "    tenant={tenant:<8} policy={policy:<24} caused={caused}ns suffered={suffered}ns"
+                );
+            }
+        }
+        if !any {
+            println!("  (no completed waits in the last analysis)");
+        }
+        Ok(())
+    }
+
+    /// Blocking-chain view over the last analysis, ranked by blocked ns.
+    fn cmd_chains(&mut self, (): ()) -> Result<(), CtlError> {
+        let r = self.last_report()?;
+        if r.chains.is_empty() {
+            println!("  (no blocking chains in the last analysis)");
+            return Ok(());
+        }
+        println!("  max chain depth: {}", r.max_chain_depth);
+        let mut rows: Vec<(&String, &u64)> = r.chains.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (stack, ns) in rows.into_iter().take(30) {
+            println!("  {ns:>12}ns {stack}");
+        }
+        Ok(())
+    }
+
+    /// Flamegraph collapsed-stack export of the last analysis' blocking
+    /// chains (stdout, or a file for `flamegraph.pl` / inferno).
+    fn cmd_flame(&mut self, out: Option<&str>) -> Result<(), CtlError> {
+        let r = self.last_report()?;
+        let text = telemetry::export::to_flamegraph(r);
+        match out {
+            Some(file) => {
+                std::fs::write(file, &text)
+                    .map_err(|e| CtlError::Io(format!("write {file}: {e}")))?;
+                println!(
+                    "  wrote {} collapsed stack(s) to {file} (feed to flamegraph.pl)",
+                    text.lines().count()
+                );
+            }
+            None => print!("{text}"),
+        }
+        Ok(())
     }
 
     /// Ranks locks by slow-path activity currently resident in the trace

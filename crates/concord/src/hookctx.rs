@@ -90,6 +90,9 @@ pub fn event_layout() -> &'static CtxLayout {
             .field("cpu", 4, FieldAccess::ReadOnly)
             .field("socket", 4, FieldAccess::ReadOnly)
             .field("now_ns", 8, FieldAccess::ReadOnly)
+            // Appended after the original five fields so their offsets (and
+            // every compiled policy's instruction stream) stay unchanged.
+            .field("owner_tid", 8, FieldAccess::ReadOnly)
             .build()
     })
 }
@@ -269,6 +272,7 @@ pub fn marshal_event(ctx: &LockEventCtx) -> Vec<u8> {
         cpu: usize,
         socket: usize,
         now: usize,
+        owner: usize,
     }
     static OFFS: OnceLock<Offs> = OnceLock::new();
     let o = OFFS.get_or_init(|| {
@@ -280,6 +284,7 @@ pub fn marshal_event(ctx: &LockEventCtx) -> Vec<u8> {
             cpu: f("cpu"),
             socket: f("socket"),
             now: f("now_ns"),
+            owner: f("owner_tid"),
         }
     });
     let mut buf = vec![0u8; o.size];
@@ -288,6 +293,7 @@ pub fn marshal_event(ctx: &LockEventCtx) -> Vec<u8> {
     put32(&mut buf, o.cpu, ctx.cpu);
     put32(&mut buf, o.socket, ctx.socket);
     put64(&mut buf, o.now, ctx.now_ns);
+    put64(&mut buf, o.owner, ctx.owner_tid);
     buf
 }
 
@@ -361,11 +367,13 @@ mod tests {
             cpu: 12,
             socket: 1,
             now_ns: 500,
+            owner_tid: 9,
         };
         let buf = marshal_event(&ctx);
         let l = event_layout();
         assert_eq!(l.read(&buf, "lock_id"), 7);
         assert_eq!(l.read(&buf, "cpu"), 12);
         assert_eq!(l.read(&buf, "now_ns"), 500);
+        assert_eq!(l.read(&buf, "owner_tid"), 9);
     }
 }

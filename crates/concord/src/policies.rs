@@ -257,6 +257,7 @@ mod tests {
                 cpu: 0,
                 socket: 0,
                 now_ns: i,
+                owner_tid: 0,
             });
         }
         assert_eq!(map.percpu_sum(&0u32.to_le_bytes()), 5);

@@ -751,7 +751,8 @@ mod tests {
                     tid: 1,
                     cpu: 0,
                     socket: 0,
-                    now_ns: 0
+                    now_ns: 0,
+                    owner_tid: 0
                 }
             ),
             0

@@ -286,6 +286,48 @@ impl Profiler {
         }
         out
     }
+
+    /// Joins the lockstat-style view with a trace-plane contention
+    /// analysis: for each profiled lock that appears in the analysis
+    /// (matched by registered name), renders the analyzer's measured
+    /// wait, attribution fidelity, and the single most-blamed
+    /// (tenant, policy) cell — the hook histograms and the timeline
+    /// reconstruction answering the same question from two sides.
+    pub fn contention_report(&self, analysis: &telemetry::Report) -> String {
+        let mut out = String::new();
+        for (name, _) in &self.profiles {
+            let Some(l) = analysis.locks.values().find(|l| &l.name == name) else {
+                continue;
+            };
+            let fidelity = if analysis.exact() { "exact" } else { "lower-bound" };
+            match l
+                .caused
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            {
+                Some(((tenant, policy), ns)) => {
+                    let tenant = if *tenant == telemetry::analyze::HANDOFF_TENANT {
+                        "handoff".to_string()
+                    } else {
+                        tenant.to_string()
+                    };
+                    let share = ns.saturating_mul(1000).checked_div(l.wait_ns).unwrap_or(0);
+                    out.push_str(&format!(
+                        "{name:<24} analyzed wait={}ns ({fidelity}) top blame: \
+                         tenant={tenant} policy={policy} {ns}ns ({share}‰)\n",
+                        l.wait_ns
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "{name:<24} analyzed wait={}ns ({fidelity}) no completed waits\n",
+                        l.wait_ns
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

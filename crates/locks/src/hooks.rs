@@ -86,6 +86,12 @@ pub struct LockEventCtx {
     pub socket: u32,
     /// Event timestamp (ns).
     pub now_ns: u64,
+    /// Tid of the thread holding the lock when the event fired (0 =
+    /// unlocked or unknown). On `lock_acquired`/`lock_release` this is the
+    /// emitting thread itself; on `lock_contended` it names the blocker,
+    /// which is what lets the contention analyzer draw holder→waiter
+    /// edges even when the holder's own transition records were dropped.
+    pub owner_tid: u64,
 }
 
 /// `cmp_node` policy: `true` ⇒ move `curr` forward.
@@ -326,7 +332,7 @@ impl ShflHooks {
                 ctx.lock_id,
                 ctx.tid,
                 u64::from(ctx.socket),
-                0,
+                ctx.owner_tid,
             );
         }
         self.fire_event(kind, ctx);
@@ -514,6 +520,7 @@ mod tests {
             cpu: 0,
             socket: 0,
             now_ns: 0,
+            owner_tid: 0,
         };
         h.fire_event(HookKind::LockAcquired, &ctx);
         assert_eq!(hits.load(Ordering::Relaxed), 0);

@@ -62,6 +62,10 @@ pub struct ShflLock {
     /// guard trigger earlier or later, never unsoundly).
     last_socket: AtomicU32,
     streak: AtomicU32,
+    /// Tid of the current holder (0 = unlocked). Written only by the
+    /// winner of the lock word (while holding) and cleared by the holder
+    /// before it releases, so event contexts can name the blocker.
+    owner: AtomicU64,
 }
 
 // SAFETY: nodes are shared only through atomics; interior queue surgery is
@@ -88,6 +92,7 @@ impl ShflLock {
             shuffle_count: AtomicU64::new(0),
             last_socket: AtomicU32::new(u32::MAX),
             streak: AtomicU32::new(0),
+            owner: AtomicU64::new(0),
         }
     }
 
@@ -116,8 +121,10 @@ impl ShflLock {
         self.shuffle_count.load(Ordering::Relaxed)
     }
 
-    /// Tracks consecutive same-socket handoffs for the fairness bound.
+    /// Tracks consecutive same-socket handoffs for the fairness bound and
+    /// records the new holder's identity.
     fn note_acquired(&self) {
+        self.owner.store(topo::current_tid(), Ordering::Relaxed);
         let s = topo::current_socket();
         if self.last_socket.swap(s, Ordering::Relaxed) == s {
             self.streak.fetch_add(1, Ordering::Relaxed);
@@ -133,6 +140,7 @@ impl ShflLock {
             cpu: topo::current_cpu(),
             socket: topo::current_socket(),
             now_ns: now_ns(),
+            owner_tid: self.owner.load(Ordering::Relaxed),
         }
     }
 
@@ -361,6 +369,9 @@ impl RawLock for ShflLock {
             self.locked.load(Ordering::Relaxed),
             "release of unheld ShflLock"
         );
+        // Clear the holder identity while still holding the word, so no
+        // later owner's store can be overwritten.
+        self.owner.store(0, Ordering::Relaxed);
         self.locked.store(false, Ordering::Release);
     }
 
@@ -369,6 +380,9 @@ impl RawLock for ShflLock {
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok();
+        if ok {
+            self.owner.store(topo::current_tid(), Ordering::Relaxed);
+        }
         if ok && self.hooks.observed(HookKind::LockAcquired) {
             self.hooks
                 .dispatch_event(HookKind::LockAcquired, &self.event_ctx());

@@ -41,6 +41,9 @@ pub struct ShflMutex {
     hooks: Arc<ShflHooks>,
     id: u64,
     parks: AtomicU64,
+    /// Tid of the current holder (0 = unlocked); written by the winner,
+    /// cleared by the holder before releasing.
+    owner: AtomicU64,
 }
 
 // SAFETY: nodes are shared only through atomics, in MCS discipline.
@@ -63,6 +66,7 @@ impl ShflMutex {
             hooks: Arc::new(ShflHooks::new()),
             id: NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed),
             parks: AtomicU64::new(0),
+            owner: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +83,17 @@ impl ShflMutex {
     /// Number of times any waiter parked (statistics).
     pub fn park_count(&self) -> u64 {
         self.parks.load(Ordering::Relaxed)
+    }
+
+    fn event_ctx(&self) -> LockEventCtx {
+        LockEventCtx {
+            lock_id: self.id,
+            tid: topo::current_tid(),
+            cpu: topo::current_cpu(),
+            socket: topo::current_socket(),
+            now_ns: now_ns(),
+            owner_tid: self.owner.load(Ordering::Relaxed),
+        }
     }
 
     fn view() -> NodeView {
@@ -160,35 +175,20 @@ impl ShflMutex {
 impl RawLock for ShflMutex {
     fn acquire(&self) {
         if self.hooks.observed(HookKind::LockAcquire) {
-            self.hooks.dispatch_event(
-                HookKind::LockAcquire,
-                &LockEventCtx {
-                    lock_id: self.id,
-                    tid: topo::current_tid(),
-                    cpu: topo::current_cpu(),
-                    socket: topo::current_socket(),
-                    now_ns: now_ns(),
-                },
-            );
+            self.hooks
+                .dispatch_event(HookKind::LockAcquire, &self.event_ctx());
         }
         if self
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            self.owner.store(topo::current_tid(), Ordering::Relaxed);
             return;
         }
         if self.hooks.observed(HookKind::LockContended) {
-            self.hooks.dispatch_event(
-                HookKind::LockContended,
-                &LockEventCtx {
-                    lock_id: self.id,
-                    tid: topo::current_tid(),
-                    cpu: topo::current_cpu(),
-                    socket: topo::current_socket(),
-                    now_ns: now_ns(),
-                },
-            );
+            self.hooks
+                .dispatch_event(HookKind::LockContended, &self.event_ctx());
         }
 
         let node = Box::into_raw(Box::new(Node {
@@ -241,44 +241,36 @@ impl RawLock for ShflMutex {
             }
             drop(Box::from_raw(node));
         }
+        self.owner.store(topo::current_tid(), Ordering::Relaxed);
         if self.hooks.observed(HookKind::LockAcquired) {
-            self.hooks.dispatch_event(
-                HookKind::LockAcquired,
-                &LockEventCtx {
-                    lock_id: self.id,
-                    tid: topo::current_tid(),
-                    cpu: topo::current_cpu(),
-                    socket: topo::current_socket(),
-                    now_ns: now_ns(),
-                },
-            );
+            self.hooks
+                .dispatch_event(HookKind::LockAcquired, &self.event_ctx());
         }
     }
 
     fn release(&self) {
         if self.hooks.observed(HookKind::LockRelease) {
-            self.hooks.dispatch_event(
-                HookKind::LockRelease,
-                &LockEventCtx {
-                    lock_id: self.id,
-                    tid: topo::current_tid(),
-                    cpu: topo::current_cpu(),
-                    socket: topo::current_socket(),
-                    now_ns: now_ns(),
-                },
-            );
+            self.hooks
+                .dispatch_event(HookKind::LockRelease, &self.event_ctx());
         }
         debug_assert!(
             self.locked.load(Ordering::Relaxed),
             "release of unheld ShflMutex"
         );
+        // Clear the holder identity while still holding the word.
+        self.owner.store(0, Ordering::Relaxed);
         self.locked.store(false, Ordering::Release);
     }
 
     fn try_acquire(&self) -> bool {
-        self.locked
+        let ok = self
+            .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        if ok {
+            self.owner.store(topo::current_tid(), Ordering::Relaxed);
+        }
+        ok
     }
 }
 

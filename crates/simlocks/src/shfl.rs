@@ -48,6 +48,9 @@ pub struct SimShflLock {
     scanned: Cell<u64>,
     last_socket: Cell<u32>,
     streak: Cell<u32>,
+    /// Tid of the current holder (0 = unlocked); set by the winner of the
+    /// lock word, cleared on release, so event contexts name the blocker.
+    owner: Cell<u64>,
     max_batch: Cell<u32>,
     /// Node currently holding the delegated shuffler role (0 = none); the
     /// queue head must not shuffle concurrently (unique-shuffler rule).
@@ -72,6 +75,7 @@ impl SimShflLock {
             scanned: Cell::new(0),
             last_socket: Cell::new(u32::MAX),
             streak: Cell::new(0),
+            owner: Cell::new(0),
             max_batch: Cell::new(MAX_BATCH),
             delegate: Cell::new(0),
         }
@@ -130,6 +134,7 @@ impl SimShflLock {
             cpu: t.cpu().0,
             socket: t.socket().0,
             now_ns: t.now(),
+            owner_tid: self.owner.get(),
         }
     }
 
@@ -147,7 +152,7 @@ impl SimShflLock {
                 ctx.lock_id,
                 ctx.tid,
                 u64::from(ctx.socket),
-                0,
+                ctx.owner_tid,
             );
         }
         let policy = self.policy();
@@ -251,6 +256,9 @@ impl SimShflLock {
         // by a waiter deeper in the queue (see the claim above).
         loop {
             if self.locked.compare_exchange(t, 0, 1).await.is_ok() {
+                // Own the word from this instant: events fired by other
+                // tasks during our dequeue below must already name us.
+                self.owner.set(u64::from(t.id().0) + 1);
                 break;
             }
             self.locked.wait_while(t, |v| v == 1).await;
@@ -281,8 +289,10 @@ impl SimShflLock {
         self.fire(t, HookKind::LockAcquired).await;
     }
 
-    /// Tracks consecutive same-socket handoffs for the fairness bound.
+    /// Tracks consecutive same-socket handoffs for the fairness bound and
+    /// records the new holder's identity.
     fn note_acquired(&self, t: &TaskCtx) {
+        self.owner.set(u64::from(t.id().0) + 1);
         let s = t.socket().0;
         if self.last_socket.replace(s) == s {
             self.streak.set(self.streak.get() + 1);
@@ -348,12 +358,22 @@ impl SimShflLock {
         t.sched_point(SchedSite::Release, self.id).await;
         self.fire(t, HookKind::LockRelease).await;
         debug_assert_eq!(self.locked.peek(), 1, "release of unheld SimShflLock");
+        // The release event above still carried our identity; clear it only
+        // if no successor has already re-set it by the time the store lands.
+        let me = u64::from(t.id().0) + 1;
         self.locked.store(t, 0).await;
+        if self.owner.get() == me {
+            self.owner.set(0);
+        }
     }
 
     /// Attempts the fast path only.
     pub async fn try_acquire(&self, t: &TaskCtx) -> bool {
-        self.locked.compare_exchange(t, 0, 1).await.is_ok()
+        let ok = self.locked.compare_exchange(t, 0, 1).await.is_ok();
+        if ok {
+            self.owner.set(u64::from(t.id().0) + 1);
+        }
+        ok
     }
 
     /// One shuffle phase starting at `head_idx` (the shuffler's own node);

@@ -99,6 +99,12 @@ impl EventKind {
         })
     }
 
+    /// Inverse of [`EventKind::name`], for CLI filters
+    /// (`c3ctl trace tail --event <name>`).
+    pub fn from_name(s: &str) -> Option<EventKind> {
+        (1..=16).filter_map(EventKind::from_u16).find(|k| k.name() == s)
+    }
+
     /// Stable lowercase name, used by exporters and `c3ctl trace`.
     pub fn name(self) -> &'static str {
         use EventKind::*;

@@ -25,12 +25,14 @@
 //! [`armed`], a single relaxed atomic load, so the cost of compiled-in
 //! telemetry is one predictable branch per site.
 
+pub mod analyze;
 pub mod clock;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod ring;
 
+pub use analyze::{AnalyzeConfig, Analyzer, EventFilter, Report};
 pub use event::{EventKind, TraceEvent, EVENT_BYTES, MAX_PAYLOAD};
 pub use metrics::{AtomicHistogram, Counter, Gauge, MetricsRegistry};
 pub use ring::{Plane, Ring};
@@ -126,6 +128,15 @@ pub fn snapshot_last(n: usize) -> Vec<TraceEvent> {
 /// Total events lost to overwrite-oldest wraparound since process start.
 pub fn dropped() -> u64 {
     plane().dropped()
+}
+
+/// Mirror the plane's drop total into the `c3_trace_dropped_total`
+/// counter in the global metrics registry. The plane's count is the
+/// source of truth; the counter is a monotonic mirror
+/// ([`Counter::raise_to`]), so calling this from several control-plane
+/// paths is safe.
+pub fn sync_dropped_counter() {
+    metrics().counter("c3_trace_dropped_total").raise_to(dropped());
 }
 
 #[cfg(test)]

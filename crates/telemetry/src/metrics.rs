@@ -37,6 +37,12 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Raise the counter to `v` if it is currently lower (monotonic sync
+    /// from an external absolute count, e.g. the plane's drop total).
+    pub fn raise_to(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
 }
 
 /// A signed instantaneous value.

@@ -1,0 +1,182 @@
+//! Property tests for the contention analyzer:
+//!
+//! * the **blame conservation law** holds on randomized (but physically
+//!   consistent) lock timelines: per lock, caused == measured wait ==
+//!   suffered, and a lossless stream analyzes as *exact*;
+//! * **drop tolerance**: deleting arbitrary records never panics, never
+//!   breaks conservation over the surviving events, and the per-ring
+//!   seq-gap count equals exactly the number of interior records lost;
+//! * **determinism**: analyzing the same stream twice renders
+//!   byte-identical reports with equal stable hashes.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+use telemetry::analyze::{analyze, AnalyzeConfig};
+use telemetry::{EventKind, TraceEvent};
+
+/// One generated acquisition on one lock.
+#[derive(Debug, Clone)]
+struct GenOp {
+    tid_idx: u8,
+    /// How long before the current holder's release this waiter arrives
+    /// (0 = uncontended fast path).
+    arrive_early: u64,
+    hold_ns: u64,
+    gap_ns: u64,
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    (0u8..6, 0u64..80, 1u64..100, 0u64..40).prop_map(|(tid_idx, arrive_early, hold_ns, gap_ns)| {
+        GenOp {
+            tid_idx,
+            arrive_early,
+            hold_ns,
+            gap_ns,
+        }
+    })
+}
+
+/// Expand per-lock op lists into a physically consistent event stream:
+/// serialized critical sections per lock, waiters arriving during the
+/// previous hold, per-CPU ring sequence numbers assigned in merged
+/// `(ts, cpu)` order exactly as the plane would produce them.
+fn build_stream(locks: &[(u64, Vec<GenOp>)]) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut op_no = 0u64;
+    for (lock, ops) in locks {
+        let mut t = 1u64;
+        for op in ops {
+            // A waiter with a large `arrive_early` can overlap not just the
+            // previous hold but earlier waits too; globally unique tids keep
+            // every pending wait distinct (the tid_idx still steers socket
+            // and cpu variety below).
+            let tid = op_no * 8 + u64::from(op.tid_idx) + 1;
+            op_no += 1;
+            let socket = tid % 2;
+            let cpu = (tid % 4) as u16;
+            let arrival = t.saturating_sub(op.arrive_early).max(1);
+            events.push(TraceEvent::new(
+                EventKind::LockAcquire,
+                arrival,
+                cpu,
+                *lock,
+                tid,
+                socket,
+                0,
+            ));
+            if arrival < t {
+                events.push(TraceEvent::new(
+                    EventKind::LockContended,
+                    arrival,
+                    cpu,
+                    *lock,
+                    tid,
+                    socket,
+                    0,
+                ));
+            }
+            events.push(TraceEvent::new(
+                EventKind::LockAcquired,
+                t,
+                cpu,
+                *lock,
+                tid,
+                socket,
+                tid,
+            ));
+            let release = t + op.hold_ns;
+            events.push(TraceEvent::new(
+                EventKind::LockRelease,
+                release,
+                cpu,
+                *lock,
+                tid,
+                socket,
+                tid,
+            ));
+            // +1 keeps consecutive critical sections off the same instant.
+            t = release + op.gap_ns + 1;
+        }
+    }
+    // The plane drains in (ts, cpu, seq) order with per-ring gapless
+    // sequence numbers; reproduce that exactly.
+    events.sort_by_key(|e| (e.ts_ns, e.cpu));
+    let mut next_seq: BTreeMap<u16, u64> = BTreeMap::new();
+    for e in &mut events {
+        let seq = next_seq.entry(e.cpu).or_insert(0);
+        e.seq = *seq;
+        *seq += 1;
+    }
+    events
+}
+
+fn locks_strategy() -> impl Strategy<Value = Vec<(u64, Vec<GenOp>)>> {
+    vec((1u64..4, vec(op_strategy(), 1..40)), 1..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation on lossless randomized timelines, and exactness.
+    #[test]
+    fn conservation_holds_and_lossless_is_exact(locks in locks_strategy()) {
+        let stream = build_stream(&locks);
+        let r = analyze(&stream, AnalyzeConfig::default());
+        prop_assert!(r.conservation_holds(), "law violated:\n{}", r.render());
+        prop_assert!(r.exact(), "lossless stream not exact:\n{}", r.render());
+        // Chain stacks partition the same total the blame does.
+        let chain_ns: u64 = r.chains.values().sum();
+        prop_assert_eq!(chain_ns, r.total_wait_ns());
+    }
+
+    /// Deleting arbitrary records: no panic, conservation still holds on
+    /// what survives, and the seq-gap count is exactly the number of
+    /// interior (non-prefix, non-suffix) records lost per ring.
+    #[test]
+    fn drop_tolerance(
+        locks in locks_strategy(),
+        drop_mask in vec(any::<bool>(), 0..512),
+    ) {
+        let full = build_stream(&locks);
+        let survivors: Vec<TraceEvent> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !drop_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, e)| *e)
+            .collect();
+        let r = analyze(&survivors, AnalyzeConfig::default());
+        prop_assert!(
+            r.conservation_holds(),
+            "law must survive drops:\n{}",
+            r.render()
+        );
+        // Expected gaps: per ring, sum of (seq deltas - 1) between
+        // surviving neighbors. Prefix loss is invisible by design.
+        let mut expected = 0u64;
+        let mut last: BTreeMap<u16, u64> = BTreeMap::new();
+        for e in &survivors {
+            if let Some(prev) = last.get(&e.cpu) {
+                expected += e.seq - prev - 1;
+            }
+            last.insert(e.cpu, e.seq);
+        }
+        prop_assert_eq!(r.seq_gaps, expected);
+        if expected > 0 {
+            prop_assert!(!r.exact(), "gaps must flag lower-bound attribution");
+        }
+    }
+
+    /// Same stream, same bytes: render and stable hash are deterministic.
+    #[test]
+    fn analysis_is_deterministic(locks in locks_strategy()) {
+        let stream = build_stream(&locks);
+        let a = analyze(&stream, AnalyzeConfig::default());
+        let b = analyze(&stream, AnalyzeConfig::default());
+        prop_assert_eq!(a.render(), b.render());
+        prop_assert_eq!(a.stable_hash(), b.stable_hash());
+    }
+}

@@ -28,6 +28,14 @@ C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin bench_
 echo "== telemetry_gate (C3_BENCH_GATE=${C3_BENCH_GATE:-1}) =="
 C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin telemetry_gate
 
+# Contention-analysis gate: blame conservation must hold exactly (and
+# byte-identically run-to-run) on a lossless fixed-seed ksim trace, and
+# arming the continuous analyzer must stay >= 0.95 normalized on the
+# fig2c no-op worst case without moving virtual throughput at all.
+# Shares the C3_BENCH_GATE=0 skip knob.
+echo "== profile_gate (C3_BENCH_GATE=${C3_BENCH_GATE:-1}) =="
+C3_BENCH_GATE="${C3_BENCH_GATE:-1}" cargo run -p c3-bench --release --bin profile_gate
+
 # Rollout chaos gate: crash-sweeps a staged rollout over fixed seeds
 # (override with C3_CHAOS_SEEDS=a,b,c), asserting every crash point
 # converges and that replays are deterministic. Skip with

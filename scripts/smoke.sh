@@ -129,4 +129,55 @@ if ./target/release/c3ctl "$policy_fail_script" >/dev/null 2>&1; then
 fi
 echo "c3ctl policy wire smoke ok"
 
+# Contention-analysis smoke: arm the plane, hammer a demo lock, save the
+# raw trace, analyze it from the file, and walk the derived views (blame
+# table, blocking chains, flamegraph export); then require a truncated
+# trace file to fail analysis with a nonzero exit.
+echo "== c3ctl contention analysis smoke =="
+analyze_trace="$(mktemp)"
+analyze_flame="$(mktemp)"
+analyze_script="$(mktemp)"
+analyze_fail_script="$(mktemp)"
+trap 'rm -f "$trace_script" "$rollout_script" "$rollout_fail_script" \
+    "$explore_script" "$explore_fail_script" "$explore_repro" \
+    "$policy_src" "$policy_art" "$policy_script" "$policy_fail_script" \
+    "$analyze_trace" "$analyze_flame" "$analyze_script" "$analyze_fail_script"' EXIT
+# 50µs spins inside the critical section force queueing (contended
+# waits) on any core count, while 4×100 acquisitions keep the whole
+# trace inside the ring capacity of the four pinned CPUs.
+printf '%s\n' \
+    'hammer mmap_sem 4 100 50' \
+    "trace save $analyze_trace" \
+    "analyze $analyze_trace" \
+    'blame' \
+    'chains' \
+    "flame $analyze_flame" \
+    'quit' > "$analyze_script"
+analyze_out="$(C3_TRACE=1 ./target/release/c3ctl "$analyze_script")"
+if ! grep -q 'contention analysis:' <<< "$analyze_out"; then
+    echo "c3ctl analyze smoke FAILED: no analysis report:" >&2
+    echo "$analyze_out" >&2
+    exit 1
+fi
+if ! grep -q 'conservation: holds' <<< "$analyze_out"; then
+    echo "c3ctl analyze smoke FAILED: blame conservation did not hold:" >&2
+    echo "$analyze_out" >&2
+    exit 1
+fi
+if ! [ -s "$analyze_flame" ]; then
+    echo "c3ctl analyze smoke FAILED: flamegraph export is empty" >&2
+    exit 1
+fi
+# Truncate the saved trace mid-record: the typed analyze error must
+# surface and flip the scripted exit code.
+head -c 100 "$analyze_trace" > "${analyze_trace}.bad"
+printf 'analyze %s.bad\nquit\n' "$analyze_trace" > "$analyze_fail_script"
+if ./target/release/c3ctl "$analyze_fail_script" >/dev/null 2>&1; then
+    rm -f "${analyze_trace}.bad"
+    echo "c3ctl analyze smoke FAILED: truncated trace exited zero" >&2
+    exit 1
+fi
+rm -f "${analyze_trace}.bad"
+echo "c3ctl contention analysis smoke ok"
+
 echo "smoke ok: csvs in $C3_RESULTS_DIR"
