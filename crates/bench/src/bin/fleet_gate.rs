@@ -1,0 +1,216 @@
+//! Fleet control-plane gate, run by `scripts/ci.sh`.
+//!
+//! For every seed in `C3_FLEET_SEEDS` (comma-separated, default
+//! `3,7,42`), crash-sweeps the simulated fleet world: the control-plane
+//! daemon is killed at every protocol step boundary (publish broadcast,
+//! lease expiry, reconcile) while the network drops, duplicates,
+//! reorders and partitions, and every run must still converge all hosts
+//! to the store head with zero torn applies. Each seed's sweep then
+//! runs a second time and the two reports must be bit-identical,
+//! pinning the deterministic-replay contract at the CI gate. The inert
+//! run must additionally exercise the degraded-mode path: a partitioned
+//! host keeps serving its last-known-good snapshot.
+//!
+//! With `--bench`, regenerates the EXPERIMENTS.md propagation table
+//! instead: p50/p99 propagation latency (virtual time, commit →
+//! host-applied) over the gate seeds, plus control-plane store
+//! throughput at 100 k and 1 M tenants through the sharded
+//! `cbpf::map`-backed tenant index.
+//!
+//! Skip with `C3_FLEET_GATE=0`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use concord::fleet::{
+    fleet_sweep, run_fleet, seal_demo_artifact, Delta, FleetConfig, PolicyStore,
+};
+use concord::rollout::chaos::SweepReport;
+use concord::rollout::ChaosPlan;
+
+const DEFAULT_SEEDS: &[u64] = &[3, 7, 42];
+
+fn seeds_from_env() -> Vec<u64> {
+    match std::env::var("C3_FLEET_SEEDS") {
+        Ok(raw) if raw.trim().is_empty() => DEFAULT_SEEDS.to_vec(),
+        Ok(raw) => raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| panic!("C3_FLEET_SEEDS: bad seed {s:?}"))
+            })
+            .collect(),
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+fn print_report(r: &SweepReport) {
+    println!(
+        "fleet_gate: seed {} — {} crash points, {} converged run(s), \
+         baseline fingerprint {:#018x}",
+        r.seed, r.crash_points, r.applied_runs, r.baseline_fingerprint
+    );
+}
+
+/// One seed's gate: the inert run must converge torn-free while
+/// exercising the whole failure surface, the crash sweep must converge
+/// at every step, and the sweep must replay bit-identically.
+fn gate_seed(seed: u64) -> bool {
+    let cfg = FleetConfig::small(seed, seal_demo_artifact());
+
+    let inert = run_fleet(&cfg, ChaosPlan::inert(seed));
+    if !inert.converged || inert.torn > 0 {
+        eprintln!(
+            "fleet_gate: FAIL — seed {seed} inert run: converged={} torn={} \
+             (head {} vs hosts {:?})",
+            inert.converged, inert.torn, inert.head, inert.host_versions
+        );
+        return false;
+    }
+    if inert.degraded_serves == 0 {
+        eprintln!(
+            "fleet_gate: FAIL — seed {seed} inert run never served degraded \
+             (partition window did not bite)"
+        );
+        return false;
+    }
+
+    let first = match fleet_sweep(seed, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet_gate: FAIL — seed {seed}: {e}");
+            return false;
+        }
+    };
+    print_report(&first);
+    if first.applied_runs != first.crash_points + 1 {
+        eprintln!(
+            "fleet_gate: FAIL — seed {seed}: {} of {} runs converged",
+            first.applied_runs,
+            first.crash_points + 1
+        );
+        return false;
+    }
+    match fleet_sweep(seed, &cfg) {
+        Ok(second) if second == first => true,
+        Ok(second) => {
+            eprintln!("fleet_gate: FAIL — seed {seed} replay diverged: {first:?} vs {second:?}");
+            false
+        }
+        Err(e) => {
+            eprintln!("fleet_gate: FAIL — seed {seed} replay: {e}");
+            false
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Store throughput at `tenants` scale: one bulk publish binding every
+/// tenant (the initial fleet bring-up), a burst of incremental
+/// publishes on top (each pays the snapshot copy — the price of
+/// immutable versions), and a resolve sweep through the sharded index.
+fn bench_store(tenants: usize) {
+    let artifact = seal_demo_artifact();
+    let store = PolicyStore::new(tenants);
+    let all: Vec<u64> = (0..tenants as u64).collect();
+
+    let t = Instant::now();
+    store
+        .publish(&Delta::bind_all(&all, 1000, Arc::clone(&artifact)))
+        .expect("bulk publish");
+    let bulk = t.elapsed();
+
+    const INCREMENTAL: usize = 8;
+    let t = Instant::now();
+    for i in 0..INCREMENTAL as u64 {
+        store
+            .publish(&Delta::bind_all(
+                &[i * 17 % tenants as u64],
+                2000 + i,
+                Arc::clone(&artifact),
+            ))
+            .expect("incremental publish");
+    }
+    let incr = t.elapsed();
+
+    const RESOLVES: usize = 1_000_000;
+    let t = Instant::now();
+    let mut hits = 0usize;
+    for i in 0..RESOLVES as u64 {
+        // Splitmix-striped probes so the sweep touches every shard.
+        let tenant = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % tenants as u64;
+        hits += usize::from(store.index().lookup(tenant).is_some());
+    }
+    let resolve = t.elapsed();
+    assert_eq!(hits, RESOLVES, "resolve sweep missed bound tenants");
+
+    println!(
+        "| {tenants} | {} | {:.1} | {:.2} | {:.1} |",
+        store.index().shard_count(),
+        tenants as f64 / bulk.as_secs_f64() / 1e6,
+        incr.as_secs_f64() * 1e3 / INCREMENTAL as f64,
+        RESOLVES as f64 / resolve.as_secs_f64() / 1e6,
+    );
+}
+
+/// `--bench`: the EXPERIMENTS.md propagation + store-throughput tables.
+fn bench(seeds: &[u64]) {
+    let mut samples: Vec<u64> = Vec::new();
+    let mut retries = 0u64;
+    let mut dedups = 0u64;
+    for &seed in seeds {
+        let cfg = FleetConfig::small(seed, seal_demo_artifact());
+        let r = run_fleet(&cfg, ChaosPlan::inert(seed));
+        assert!(r.converged, "seed {seed} did not converge");
+        samples.extend_from_slice(&r.propagation_ns);
+        retries += r.retries;
+        dedups += r.dedup_drops;
+    }
+    samples.sort_unstable();
+    println!(
+        "propagation (lossy net, {} samples over seeds {seeds:?}): \
+         p50 {:.1} µs, p99 {:.1} µs, {} retransmits, {} dedup drops",
+        samples.len(),
+        percentile(&samples, 0.50) as f64 / 1e3,
+        percentile(&samples, 0.99) as f64 / 1e3,
+        retries,
+        dedups,
+    );
+    println!();
+    println!("| tenants | shards | bulk bind (M/s) | incr publish (ms) | resolve (M/s) |");
+    println!("|---|---|---|---|---|");
+    bench_store(100_000);
+    bench_store(1_000_000);
+}
+
+fn main() {
+    if std::env::var("C3_FLEET_GATE").as_deref() == Ok("0") {
+        println!("fleet_gate: skipped (C3_FLEET_GATE=0)");
+        return;
+    }
+    let seeds = seeds_from_env();
+    if std::env::args().any(|a| a == "--bench") {
+        bench(&seeds);
+        return;
+    }
+    println!("fleet_gate: sweeping seeds {seeds:?}");
+    let mut failed = false;
+    for &seed in &seeds {
+        if !gate_seed(seed) {
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fleet_gate: OK");
+}

@@ -46,11 +46,17 @@
 //! explore run <fixture> <strategy> [n] [seed]    schedule exploration
 //! explore shrink <fixture> <strategy> <out> [n] [seed]  write minimal repro
 //! explore replay <file>         replay a repro artifact, verify pinning
+//! fleet start [hosts]           open a fleet session: CAS store + N hosts
+//! fleet publish <policy> <tenant>… [expect <head>]  seal + publish a version
+//! fleet status                  store head, per-host versions, lag
+//! fleet hosts                   per-host serving state and dedupe counts
+//! fleet reconcile               anti-entropy: push the head to laggards
 //! help | quit
 //! ```
 //!
-//! The `rollout`, `quarantines <lock>`, `explore`, `policy`, `analyze`,
-//! `blame`, `chains` and `flame` families report **typed** errors and, in
+//! The `rollout`, `quarantines <lock>`, `explore`, `policy`, `fleet`,
+//! `analyze`, `blame`, `chains` and `flame` families report **typed**
+//! errors and, in
 //! scripted mode, make the process exit nonzero on failure — they are the
 //! commands CI gates on. Legacy commands keep the historical
 //! always-exit-0 contract.
@@ -65,6 +71,7 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 
 use cbpf::store::VerifiedProgram;
+use concord::fleet::{Delta, DeliverOutcome, HostState, PolicyStore, StoreError};
 use concord::hookctx;
 use concord::profiler::Profiler;
 use concord::rollout::{
@@ -97,6 +104,10 @@ enum CtlError {
     /// A trace failed to parse or the analysis surface was misused
     /// (e.g. `blame` before any `analyze`).
     Analyze(String),
+    /// The fleet control plane refused an operation: a stale
+    /// conditional publish (CAS head moved), a missing session, or a
+    /// store-level failure surfaced to the operator.
+    Fleet(String),
     Io(String),
 }
 
@@ -114,6 +125,7 @@ impl fmt::Display for CtlError {
             CtlError::Wire(e) => write!(f, "wire artifact rejected: {e}"),
             CtlError::Policy(e) => write!(f, "{e}"),
             CtlError::Analyze(e) => write!(f, "{e}"),
+            CtlError::Fleet(e) => write!(f, "fleet: {e}"),
             CtlError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -131,12 +143,31 @@ impl From<ExploreError> for CtlError {
     }
 }
 
+impl From<StoreError> for CtlError {
+    fn from(e: StoreError) -> Self {
+        CtlError::Fleet(e.to_string())
+    }
+}
+
 /// One in-flight (or finished) rollout, kept across commands so
 /// `promote`/`status`/`abort`/`recover` act on the same intent log.
 struct CtlRollout {
     log: RolloutLog,
     policy: String,
     breakers: BreakerMap,
+}
+
+/// One fleet session: the CAS-versioned policy store plus a handful of
+/// lock hosts fed synchronously from the CLI (the simulated lossy
+/// transport lives in `concord::fleet::world` and the chaos gate; here
+/// the operator *is* the network, so `reconcile` is the delivery path).
+struct CtlFleet {
+    store: Arc<PolicyStore>,
+    hosts: Vec<HostState>,
+    /// Policy name → numeric policy id, stable within the session so
+    /// repeated publishes of the same policy reuse one id.
+    policy_ids: HashMap<String, u64>,
+    next_policy_id: u64,
 }
 
 struct Ctl {
@@ -147,6 +178,7 @@ struct Ctl {
     patches: Vec<concord::AttachHandle>,
     profiler: Option<Profiler>,
     rollout: Option<CtlRollout>,
+    fleet: Option<CtlFleet>,
     /// Result of the most recent `analyze`, backing the `blame`,
     /// `chains` and `flame` views.
     last_report: Option<telemetry::Report>,
@@ -187,6 +219,7 @@ impl Ctl {
             patches: Vec::new(),
             profiler: None,
             rollout: None,
+            fleet: None,
             last_report: None,
             next_generation: 0,
             failed: false,
@@ -203,7 +236,7 @@ impl Ctl {
         let result = match cmd {
             "quit" | "exit" => return false,
             "help" => {
-                println!("commands: locks load loadsrc policy attach detach patches profile report unprofile hammer stats store quarantines rollout trace metrics top analyze blame chains flame quit");
+                println!("commands: locks load loadsrc policy attach detach patches profile report unprofile hammer stats store quarantines rollout explore fleet trace metrics top analyze blame chains flame quit");
                 Ok(())
             }
             "locks" => {
@@ -269,6 +302,10 @@ impl Ctl {
             "explore" => {
                 let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
                 self.typed(Self::cmd_explore, &rest)
+            }
+            "fleet" => {
+                let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
+                self.typed(Self::cmd_fleet, &rest)
             }
             "policy" => {
                 let rest: Vec<&str> = line.split_whitespace().skip(1).collect();
@@ -556,6 +593,179 @@ impl Ctl {
                 println!(
                     "  replayed {}: {} reproduced, trace {:#x} (pinned), {} point(s) visited",
                     repro.fixture, repro.violation, out.trace_hash, out.points
+                );
+                Ok(())
+            }
+            _ => Err(CtlError::Usage(USAGE)),
+        }
+    }
+
+    /// `fleet start|publish|status|hosts|reconcile` — the fleet control
+    /// plane, driven synchronously from the CLI.
+    ///
+    /// `publish` seals the named loaded policy into a wire artifact and
+    /// commits a new store version binding the listed tenants to it.
+    /// With `expect <head>` the publish is *conditional*: if the CAS
+    /// head has moved past the operator's expectation, the store
+    /// refuses with a typed stale-head error and the scripted exit goes
+    /// nonzero — the fleet analogue of a failed compare-and-swap, and
+    /// what CI gates on. Without `expect`, the store retry-merges.
+    fn cmd_fleet(&mut self, rest: &[&str]) -> Result<(), CtlError> {
+        const USAGE: &str = "fleet start [hosts] | \
+             fleet publish <policy> <tenant> [<tenant>…] [expect <head>] | \
+             fleet status | fleet hosts | fleet reconcile";
+        match rest.first().copied() {
+            Some("start") => {
+                let hosts: usize = match rest.get(1) {
+                    Some(n) => n.parse().map_err(|_| CtlError::Usage(USAGE))?,
+                    None => 4,
+                };
+                if hosts == 0 || hosts > 1024 {
+                    return Err(CtlError::Fleet(format!(
+                        "host count {hosts} out of range 1..=1024"
+                    )));
+                }
+                let store = Arc::new(PolicyStore::new(1024));
+                let genesis = store.snapshot(0).expect("genesis snapshot");
+                let hosts: Vec<HostState> = (0..hosts)
+                    .map(|i| HostState::new(i, Arc::clone(&genesis)))
+                    .collect();
+                println!(
+                    "  fleet session: {} host(s), store head {} ({} index shard(s))",
+                    hosts.len(),
+                    store.head(),
+                    store.index().shard_count()
+                );
+                self.fleet = Some(CtlFleet {
+                    store,
+                    hosts,
+                    policy_ids: HashMap::new(),
+                    next_policy_id: 1000,
+                });
+                Ok(())
+            }
+            Some("publish") => {
+                let policy_name = rest.get(1).copied().ok_or(CtlError::Usage(USAGE))?;
+                // Split the tail at an optional `expect <head>` suffix.
+                let tail = &rest[2..];
+                let (tenant_words, expect) = match tail.iter().position(|w| *w == "expect") {
+                    Some(i) => {
+                        let head: u64 = tail
+                            .get(i + 1)
+                            .ok_or(CtlError::Usage(USAGE))?
+                            .parse()
+                            .map_err(|_| CtlError::Usage(USAGE))?;
+                        (&tail[..i], Some(head))
+                    }
+                    None => (tail, None),
+                };
+                if tenant_words.is_empty() {
+                    return Err(CtlError::Usage(USAGE));
+                }
+                let tenants: Vec<u64> = tenant_words
+                    .iter()
+                    .map(|t| t.parse().map_err(|_| CtlError::Usage(USAGE)))
+                    .collect::<Result<_, _>>()?;
+                let loaded = self
+                    .loaded
+                    .get(policy_name)
+                    .ok_or_else(|| CtlError::UnknownPolicy(policy_name.to_string()))?
+                    .clone();
+                // Seal on the way in: hosts re-verify from the wire, so
+                // the store only ever distributes sealed artifacts.
+                let artifact = Arc::new(cbpf::wire::seal(
+                    &loaded.prog,
+                    &hookctx::rules_for(loaded.hook),
+                ));
+                let fleet = self
+                    .fleet
+                    .as_mut()
+                    .ok_or_else(|| CtlError::Fleet("no fleet session (use `fleet start`)".into()))?;
+                let policy_id = match fleet.policy_ids.get(policy_name) {
+                    Some(id) => *id,
+                    None => {
+                        let id = fleet.next_policy_id;
+                        fleet.next_policy_id += 1;
+                        fleet.policy_ids.insert(policy_name.to_string(), id);
+                        id
+                    }
+                };
+                let delta = Delta::bind_all(&tenants, policy_id, artifact);
+                let version = match expect {
+                    Some(head) => fleet.store.try_publish(head, &delta)?,
+                    None => fleet.store.publish(&delta)?,
+                };
+                println!(
+                    "  published v{version}: policy {policy_name} (id {policy_id}) → {} tenant(s){}",
+                    tenants.len(),
+                    match expect {
+                        Some(h) => format!(" [conditional on head {h}]"),
+                        None => String::new(),
+                    }
+                );
+                Ok(())
+            }
+            Some("status") => {
+                let fleet = self
+                    .fleet
+                    .as_ref()
+                    .ok_or_else(|| CtlError::Fleet("no fleet session (use `fleet start`)".into()))?;
+                let head = fleet.store.head();
+                let min = fleet.hosts.iter().map(|h| h.served.version).min().unwrap_or(0);
+                println!(
+                    "  head v{head}  publishes {}  cas-conflicts {}  lag {} version(s)",
+                    fleet.store.publishes(),
+                    fleet.store.conflicts(),
+                    head - min
+                );
+                let behind = fleet
+                    .hosts
+                    .iter()
+                    .filter(|h| h.served.version < head)
+                    .count();
+                println!(
+                    "  {} host(s), {} behind head{}",
+                    fleet.hosts.len(),
+                    behind,
+                    if behind > 0 { " (run `fleet reconcile`)" } else { "" }
+                );
+                Ok(())
+            }
+            Some("hosts") => {
+                let fleet = self
+                    .fleet
+                    .as_ref()
+                    .ok_or_else(|| CtlError::Fleet("no fleet session (use `fleet start`)".into()))?;
+                let head = fleet.store.head();
+                for h in &fleet.hosts {
+                    println!(
+                        "  host{:<3} serving v{:<4} {:<8} applies {:<4} dedup-drops {}",
+                        h.id,
+                        h.served.version,
+                        if h.served.version == head { "current" } else { "behind" },
+                        h.apply_log.len(),
+                        h.dedup_drops
+                    );
+                }
+                Ok(())
+            }
+            Some("reconcile") => {
+                let fleet = self
+                    .fleet
+                    .as_mut()
+                    .ok_or_else(|| CtlError::Fleet("no fleet session (use `fleet start`)".into()))?;
+                let head = fleet.store.head();
+                let snap = fleet.store.head_snapshot();
+                let mut applied = 0usize;
+                let mut dups = 0usize;
+                for h in fleet.hosts.iter_mut() {
+                    match h.deliver(head, &snap) {
+                        DeliverOutcome::Applied => applied += 1,
+                        DeliverOutcome::Duplicate => dups += 1,
+                    }
+                }
+                println!(
+                    "  reconciled to v{head}: {applied} host(s) applied, {dups} already current"
                 );
                 Ok(())
             }

@@ -1,0 +1,490 @@
+//! The CAS-versioned fleet policy store.
+//!
+//! One op-head version counter coordinates every writer, tandem-style:
+//! there is no application-level write lock around the *work* of a
+//! publish. A writer reads the head, builds a merged snapshot against
+//! what it read, and commits with a compare-and-swap on the head; if
+//! another writer got there first the CAS fails and the writer
+//! automatically retries against the new head, merging its delta into
+//! the fresher state. Every delta therefore lands exactly once, commits
+//! are totally ordered by version, and concurrent writers converge — the
+//! property `tests/fleet_model.rs` checks against a reference model.
+//!
+//! Snapshots are immutable and `Arc`-shared: a reader (or the transport)
+//! holding version `v` keeps a complete, internally consistent binding
+//! table no matter what later writers do. That immutability is what
+//! makes the host-side apply torn-free: a host installs a whole snapshot
+//! with one pointer swap or not at all.
+//!
+//! Per-tenant resolution goes through a [`TenantIndex`]: the
+//! `tenant → policy id` half of the head snapshot mirrored into sharded
+//! `cbpf::map` hash slabs, so the hot lookup is O(1) slab probing rather
+//! than a `BTreeMap` walk, and a 1M-tenant fleet spreads across
+//! `ceil(tenants / 32768)` shards (each map caps at
+//! [`cbpf::map::MAX_MAP_ENTRIES`] slots).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cbpf::map::{Map, MapDef, MapKind, MAX_MAP_ENTRIES};
+use parking_lot::Mutex;
+use telemetry::{self, EventKind};
+
+/// One immutable published state of the fleet: the complete
+/// `tenant → policy` binding table plus every sealed artifact those
+/// bindings reference.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The op-head value this snapshot committed as.
+    pub version: u64,
+    /// Complete binding table: tenant id → policy id.
+    pub bindings: BTreeMap<u64, u64>,
+    /// Sealed wire artifacts (`cbpf::wire`) by policy id.
+    pub artifacts: BTreeMap<u64, Arc<Vec<u8>>>,
+}
+
+impl Snapshot {
+    /// The empty pre-publish state (version 0).
+    fn genesis() -> Arc<Snapshot> {
+        Arc::new(Snapshot {
+            version: 0,
+            bindings: BTreeMap::new(),
+            artifacts: BTreeMap::new(),
+        })
+    }
+
+    /// Order- and content-sensitive fold of the snapshot, for replay
+    /// fingerprints. Artifacts fold by length and a byte sample, not a
+    /// full hash — fingerprints compare runs of the same binary, not
+    /// worlds across builds.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.version);
+        for (t, p) in &self.bindings {
+            mix(*t);
+            mix(*p);
+        }
+        for (p, a) in &self.artifacts {
+            mix(*p);
+            mix(a.len() as u64);
+        }
+        h
+    }
+}
+
+/// A writer's intent: bindings to overwrite and artifacts to add. A
+/// delta is position-independent — merging it into any base snapshot
+/// yields a state containing the delta, which is why retry-merge
+/// converges.
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    /// `tenant → policy id` bindings this publish sets (last writer
+    /// wins per tenant).
+    pub bindings: Vec<(u64, u64)>,
+    /// Sealed artifacts this publish introduces, by policy id.
+    pub artifacts: Vec<(u64, Arc<Vec<u8>>)>,
+}
+
+impl Delta {
+    /// A delta binding every tenant in `tenants` to `policy`, shipping
+    /// `artifact` under that policy id.
+    pub fn bind_all(tenants: &[u64], policy: u64, artifact: Arc<Vec<u8>>) -> Delta {
+        Delta {
+            bindings: tenants.iter().map(|t| (*t, policy)).collect(),
+            artifacts: vec![(policy, artifact)],
+        }
+    }
+}
+
+/// Why a conditional publish was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The expected head was stale: someone published first. Carries the
+    /// current head so the caller can merge and retry.
+    StaleHead {
+        /// What the writer expected.
+        expected: u64,
+        /// What the store is actually at.
+        current: u64,
+    },
+    /// A delta referenced a policy id with no artifact in the delta or
+    /// the base snapshot.
+    MissingArtifact(u64),
+    /// The tenant index shard rejected an insert (slab full).
+    IndexFull(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::StaleHead { expected, current } => {
+                write!(f, "stale head: expected {expected}, store is at {current}")
+            }
+            StoreError::MissingArtifact(p) => {
+                write!(f, "binding references policy {p} but no artifact is published")
+            }
+            StoreError::IndexFull(d) => write!(f, "tenant index full: {d}"),
+        }
+    }
+}
+
+/// Sharded `tenant → policy id` index over `cbpf::map` hash slabs.
+pub struct TenantIndex {
+    shards: Vec<Map>,
+    /// Power-of-two shard count, so routing is a mask.
+    mask: u64,
+}
+
+/// Keep hash slabs at most half full: open addressing probe chains stay
+/// short and inserts can't fail until genuinely past capacity.
+const SHARD_BUDGET: usize = MAX_MAP_ENTRIES / 2;
+
+impl TenantIndex {
+    /// An index sized for `expected_tenants` concurrent bindings.
+    pub fn new(expected_tenants: usize) -> TenantIndex {
+        let n = expected_tenants.div_ceil(SHARD_BUDGET).max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|i| {
+                Map::new(MapDef {
+                    name: format!("fleet_tenants_{i}"),
+                    kind: MapKind::Hash,
+                    key_size: 8,
+                    value_size: 8,
+                    max_entries: MAX_MAP_ENTRIES,
+                })
+            })
+            .collect();
+        TenantIndex {
+            shards,
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Shard routing: splitmix finalize so sequential tenant ids spread
+    /// evenly instead of striping one shard.
+    fn shard(&self, tenant: u64) -> &Map {
+        let mut x = tenant.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        &self.shards[((x ^ (x >> 31)) & self.mask) as usize]
+    }
+
+    /// Points `tenant` at `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IndexFull`] when the routed shard is out of slots.
+    pub fn bind(&self, tenant: u64, policy: u64) -> Result<(), StoreError> {
+        self.shard(tenant)
+            .update(&tenant.to_le_bytes(), &policy.to_le_bytes(), 0)
+            .map_err(|e| StoreError::IndexFull(format!("tenant {tenant}: {e:?}")))
+    }
+
+    /// The policy id `tenant` is bound to, if any. O(1): one shard
+    /// probe.
+    pub fn lookup(&self, tenant: u64) -> Option<u64> {
+        let v = self.shard(tenant).lookup_copy(&tenant.to_le_bytes(), 0)?;
+        Some(u64::from_le_bytes(v.try_into().ok()?))
+    }
+
+    /// Total bindings across every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Map::len).sum()
+    }
+
+    /// Whether no tenant is bound.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of slab shards backing the index.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// The fleet policy store: op-head version counter, immutable snapshot
+/// history, sharded tenant index. See the module docs for the
+/// concurrency story.
+pub struct PolicyStore {
+    /// The op-head: the single word every writer coordinates through.
+    head: AtomicU64,
+    /// Version → snapshot. Only the *commit* section holds this lock;
+    /// merge work happens outside it against `Arc` snapshots.
+    snapshots: Mutex<BTreeMap<u64, Arc<Snapshot>>>,
+    index: TenantIndex,
+    /// CAS conflicts observed (each one cost a writer a retry-merge).
+    conflicts: AtomicU64,
+    /// Successful publishes.
+    publishes: AtomicU64,
+}
+
+impl PolicyStore {
+    /// An empty store (head 0) whose index is sized for
+    /// `expected_tenants`.
+    pub fn new(expected_tenants: usize) -> PolicyStore {
+        let mut snapshots = BTreeMap::new();
+        snapshots.insert(0, Snapshot::genesis());
+        PolicyStore {
+            head: AtomicU64::new(0),
+            snapshots: Mutex::new(snapshots),
+            index: TenantIndex::new(expected_tenants),
+            conflicts: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// The current op-head version.
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// The snapshot committed as version `v`.
+    pub fn snapshot(&self, v: u64) -> Option<Arc<Snapshot>> {
+        self.snapshots.lock().get(&v).cloned()
+    }
+
+    /// The head snapshot.
+    pub fn head_snapshot(&self) -> Arc<Snapshot> {
+        let snaps = self.snapshots.lock();
+        let head = self.head.load(Ordering::Acquire);
+        Arc::clone(
+            snaps
+                .get(&head)
+                .expect("op-head always has a committed snapshot"),
+        )
+    }
+
+    /// CAS conflicts writers have hit so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Successful publishes so far.
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Resolves `tenant` to its bound policy id and sealed artifact at
+    /// the head, via the sharded index (O(1) probe, then one artifact
+    /// fetch from the head snapshot).
+    pub fn resolve(&self, tenant: u64) -> Option<(u64, Arc<Vec<u8>>)> {
+        let policy = self.index.lookup(tenant)?;
+        let art = Arc::clone(self.head_snapshot().artifacts.get(&policy)?);
+        Some((policy, art))
+    }
+
+    /// The index backing [`PolicyStore::resolve`].
+    pub fn index(&self) -> &TenantIndex {
+        &self.index
+    }
+
+    /// Builds the snapshot `delta` produces on top of `base`.
+    fn merge(base: &Snapshot, delta: &Delta, version: u64) -> Result<Snapshot, StoreError> {
+        let mut bindings = base.bindings.clone();
+        let mut artifacts = base.artifacts.clone();
+        for (p, a) in &delta.artifacts {
+            artifacts.insert(*p, Arc::clone(a));
+        }
+        for (t, p) in &delta.bindings {
+            if !artifacts.contains_key(p) {
+                return Err(StoreError::MissingArtifact(*p));
+            }
+            bindings.insert(*t, *p);
+        }
+        Ok(Snapshot {
+            version,
+            bindings,
+            artifacts,
+        })
+    }
+
+    /// Publishes `delta` against an expected head, the conditional
+    /// (no-retry) surface `c3ctl fleet publish … expect N` exposes.
+    ///
+    /// The merge work runs against the snapshot at `expected_head`
+    /// without any lock; only the commit — CAS the head, insert the
+    /// snapshot, mirror the bindings into the index — runs under the
+    /// snapshot-map mutex (readers of published state never take it on
+    /// the resolve path).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::StaleHead`] when someone published first (the CAS
+    /// lost); [`StoreError::MissingArtifact`] /
+    /// [`StoreError::IndexFull`] on malformed or oversized deltas.
+    pub fn try_publish(&self, expected_head: u64, delta: &Delta) -> Result<u64, StoreError> {
+        let base = self
+            .snapshot(expected_head)
+            .ok_or(StoreError::StaleHead {
+                expected: expected_head,
+                current: self.head(),
+            })?;
+        let next = expected_head + 1;
+        let merged = Arc::new(Self::merge(&base, delta, next)?);
+
+        let mut snaps = self.snapshots.lock();
+        if self
+            .head
+            .compare_exchange(expected_head, next, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            telemetry::metrics()
+                .counter("c3_fleet_cas_conflicts_total")
+                .inc();
+            return Err(StoreError::StaleHead {
+                expected: expected_head,
+                current: self.head(),
+            });
+        }
+        snaps.insert(next, Arc::clone(&merged));
+        // Mirror the delta into the index while still inside the commit
+        // section: binds land in commit order, so the index always
+        // agrees with the head snapshot.
+        for (t, p) in &delta.bindings {
+            self.index.bind(*t, *p)?;
+        }
+        drop(snaps);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        let m = telemetry::metrics();
+        m.counter("c3_fleet_publishes_total").inc();
+        m.gauge("c3_fleet_store_head").set(next as i64);
+        if telemetry::armed() {
+            telemetry::emit(
+                EventKind::FleetPublish,
+                0,
+                0,
+                next,
+                delta.bindings.len() as u64,
+                delta.artifacts.len() as u64,
+                self.conflicts(),
+            );
+        }
+        Ok(next)
+    }
+
+    /// Publishes `delta`, automatically retry-merging on CAS conflict
+    /// until it commits (tandem-style). Returns the committed version.
+    ///
+    /// # Errors
+    ///
+    /// Only delta errors ([`StoreError::MissingArtifact`],
+    /// [`StoreError::IndexFull`]) — staleness is absorbed by the retry
+    /// loop.
+    pub fn publish(&self, delta: &Delta) -> Result<u64, StoreError> {
+        loop {
+            let head = self.head();
+            match self.try_publish(head, delta) {
+                Ok(v) => return Ok(v),
+                Err(StoreError::StaleHead { .. }) => {
+                    telemetry::metrics().counter("c3_fleet_retries_total").inc();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn art(tag: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![tag; 8])
+    }
+
+    #[test]
+    fn publish_advances_head_and_resolves() {
+        let store = PolicyStore::new(64);
+        let v = store
+            .publish(&Delta::bind_all(&[1, 2, 3], 10, art(1)))
+            .unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(store.head(), 1);
+        let (p, a) = store.resolve(2).unwrap();
+        assert_eq!(p, 10);
+        assert_eq!(*a, vec![1u8; 8]);
+        assert_eq!(store.resolve(4), None);
+    }
+
+    #[test]
+    fn stale_head_is_typed_and_carries_current() {
+        let store = PolicyStore::new(16);
+        store.publish(&Delta::bind_all(&[1], 10, art(1))).unwrap();
+        let err = store
+            .try_publish(0, &Delta::bind_all(&[2], 11, art(2)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::StaleHead {
+                expected: 0,
+                current: 1
+            }
+        );
+        assert_eq!(store.conflicts(), 1); // the CAS genuinely lost
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        let store = Arc::new(PolicyStore::new(1 << 10));
+        let mut handles = Vec::new();
+        for w in 0..8u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16u64 {
+                    let tenant = w * 16 + i;
+                    store
+                        .publish(&Delta::bind_all(&[tenant], 100 + w, art(w as u8)))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.head(), 128);
+        assert_eq!(store.publishes(), 128);
+        let head = store.head_snapshot();
+        assert_eq!(head.bindings.len(), 128);
+        for w in 0..8u64 {
+            for i in 0..16u64 {
+                let tenant = w * 16 + i;
+                assert_eq!(store.index().lookup(tenant), Some(100 + w));
+                assert_eq!(head.bindings.get(&tenant), Some(&(100 + w)));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_artifact_is_rejected() {
+        let store = PolicyStore::new(16);
+        let delta = Delta {
+            bindings: vec![(1, 99)],
+            artifacts: Vec::new(),
+        };
+        assert_eq!(store.publish(&delta), Err(StoreError::MissingArtifact(99)));
+        assert_eq!(store.head(), 0);
+    }
+
+    #[test]
+    fn index_shards_scale_with_expected_tenants() {
+        assert_eq!(TenantIndex::new(1).shard_count(), 1);
+        assert_eq!(TenantIndex::new(100_000).shard_count(), 4);
+        assert_eq!(TenantIndex::new(1_000_000).shard_count(), 32);
+        let idx = TenantIndex::new(1 << 12);
+        for t in 0..4096u64 {
+            idx.bind(t, t % 7).unwrap();
+        }
+        assert_eq!(idx.len(), 4096);
+        for t in 0..4096u64 {
+            assert_eq!(idx.lookup(t), Some(t % 7));
+        }
+    }
+}

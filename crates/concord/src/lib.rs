@@ -52,6 +52,7 @@ pub mod compose;
 pub mod containment;
 pub mod env;
 pub mod explore;
+pub mod fleet;
 pub mod hookctx;
 pub mod policies;
 pub mod policy;

@@ -17,7 +17,10 @@
 //!   currently lives ([`LatencyModel`], [`SimWord`]),
 //! * **task scheduling** primitives: delays, park/unpark with a wake-up
 //!   latency, and futex-like `wait_while` used to model spin-waiting without
-//!   simulating every spin iteration.
+//!   simulating every spin iteration,
+//! * a **lossy message transport** ([`net::SimNet`]) with a seeded fault
+//!   plan (drop/delay/duplicate/reorder/partition) and deterministic
+//!   capped-exponential backoff, used by the fleet control plane.
 //!
 //! Simulated lock algorithms (crate `simlocks`) are written as ordinary Rust
 //! `async` functions against these primitives; every interaction with shared
@@ -53,6 +56,7 @@
 mod cache;
 mod cell;
 mod exec;
+pub mod net;
 mod rng;
 pub mod sched;
 pub mod stats;
@@ -61,6 +65,7 @@ mod topology;
 pub use cache::{LatencyModel, LineId};
 pub use cell::{SimCell, SimFlag, SimWord};
 pub use exec::{Sim, SimBuilder, SimStats, TaskCtx, TaskId};
+pub use net::{Backoff, NetFaultPlan, NetStats, SimNet};
 pub use rng::SplitMix64;
 pub use sched::{
     Injection, PctStrategy, RandomDelayStrategy, ReplayStrategy, SchedAction, SchedController,

@@ -72,6 +72,22 @@ pub enum EventKind {
     /// A rollout wave health verdict. `a`=rollout generation, `b`=wave
     /// index, `d`=1 when red (abort) — reason prefix in the payload.
     RolloutHealth = 16,
+    /// A fleet store publish committed. `a`=new head version,
+    /// `b`=bindings in the delta, `c`=artifacts in the delta, `d`=CAS
+    /// conflicts the store has absorbed so far.
+    FleetPublish = 17,
+    /// A host applied (or deduplicated) a delivered snapshot. `a`=host
+    /// id, `b`=snapshot version, `d`=1 when the delivery was a duplicate
+    /// and was dropped without re-applying.
+    FleetDeliver = 18,
+    /// A host lease transition. `a`=host id, `b`=the version the host
+    /// last acknowledged, `d`=1 when the lease expired (host degraded),
+    /// 0 when it was renewed (host active again).
+    FleetLease = 19,
+    /// An anti-entropy reconciliation pushed a behind host forward.
+    /// `a`=host id, `b`=the version the host was at, `c`=the head it was
+    /// sent.
+    FleetReconcile = 20,
 }
 
 impl EventKind {
@@ -95,6 +111,10 @@ impl EventKind {
             14 => PolicyEmit,
             15 => RolloutStep,
             16 => RolloutHealth,
+            17 => FleetPublish,
+            18 => FleetDeliver,
+            19 => FleetLease,
+            20 => FleetReconcile,
             _ => return None,
         })
     }
@@ -102,7 +122,7 @@ impl EventKind {
     /// Inverse of [`EventKind::name`], for CLI filters
     /// (`c3ctl trace tail --event <name>`).
     pub fn from_name(s: &str) -> Option<EventKind> {
-        (1..=16).filter_map(EventKind::from_u16).find(|k| k.name() == s)
+        (1..=20).filter_map(EventKind::from_u16).find(|k| k.name() == s)
     }
 
     /// Stable lowercase name, used by exporters and `c3ctl trace`.
@@ -125,6 +145,10 @@ impl EventKind {
             PolicyEmit => "policy_emit",
             RolloutStep => "rollout_step",
             RolloutHealth => "rollout_health",
+            FleetPublish => "fleet_publish",
+            FleetDeliver => "fleet_deliver",
+            FleetLease => "fleet_lease",
+            FleetReconcile => "fleet_reconcile",
         }
     }
 }
@@ -310,6 +334,10 @@ mod tests {
             (EventKind::PolicyEmit, 14),
             (EventKind::RolloutStep, 15),
             (EventKind::RolloutHealth, 16),
+            (EventKind::FleetPublish, 17),
+            (EventKind::FleetDeliver, 18),
+            (EventKind::FleetLease, 19),
+            (EventKind::FleetReconcile, 20),
         ] {
             assert_eq!(k as u16, v);
             assert_eq!(EventKind::from_u16(v), Some(k));

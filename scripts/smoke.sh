@@ -180,4 +180,44 @@ fi
 rm -f "${analyze_trace}.bad"
 echo "c3ctl contention analysis smoke ok"
 
+# Fleet smoke: open a fleet session, publish a sealed version to a few
+# tenants, reconcile the hosts to the head, and require every host to
+# report current; then require a conditional publish against a stale
+# head (the store has already moved past it) to fail typed and nonzero.
+echo "== c3ctl fleet smoke =="
+fleet_script="$(mktemp)"
+fleet_fail_script="$(mktemp)"
+trap 'rm -f "$trace_script" "$rollout_script" "$rollout_fail_script" \
+    "$explore_script" "$explore_fail_script" "$explore_repro" \
+    "$policy_src" "$policy_art" "$policy_script" "$policy_fail_script" \
+    "$analyze_trace" "$analyze_flame" "$analyze_script" "$analyze_fail_script" \
+    "$fleet_script" "$fleet_fail_script"' EXIT
+printf '%s\n' \
+    'fleet start 3' \
+    'loadsrc fleetpol cmp_node return 1;' \
+    'fleet publish fleetpol 1 2 3' \
+    'fleet reconcile' \
+    'fleet status' \
+    'fleet hosts' \
+    'quit' > "$fleet_script"
+fleet_out="$(./target/release/c3ctl "$fleet_script")"
+if ! grep -q '0 behind head' <<< "$fleet_out"; then
+    echo "c3ctl fleet smoke FAILED: hosts did not converge to the head:" >&2
+    echo "$fleet_out" >&2
+    exit 1
+fi
+# Publish v1, then a conditional publish still expecting head 0: the
+# CAS must refuse with the typed stale-head error and exit nonzero.
+printf '%s\n' \
+    'fleet start 2' \
+    'loadsrc fleetpol cmp_node return 1;' \
+    'fleet publish fleetpol 1' \
+    'fleet publish fleetpol 2 expect 0' \
+    'quit' > "$fleet_fail_script"
+if ./target/release/c3ctl "$fleet_fail_script" >/dev/null 2>&1; then
+    echo "c3ctl fleet smoke FAILED: stale-head publish exited zero" >&2
+    exit 1
+fi
+echo "c3ctl fleet smoke ok"
+
 echo "smoke ok: csvs in $C3_RESULTS_DIR"
